@@ -1,0 +1,40 @@
+"""Bench the design-decision ablations (DESIGN.md §2, Abl-1..5).
+
+* the printed P5 objective is strictly worse than the derived one
+  (quantifying the paper's sign typo);
+* the cycle budget degrades gracefully;
+* the battery trade margin prevents unprofitable churn;
+* pre-buying for deferrable arrivals loses money versus V-gated
+  real-time service;
+* SmartDPSS beats a generic price-threshold heuristic.
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments.ablations import render, run_ablations
+
+
+def test_ablations(benchmark):
+    result = run_once(benchmark, run_ablations)
+    emit("ablations", render(result))
+
+    objective = {r.label: r for r in result.study("objective")}
+    assert (objective["derived"].time_avg_cost
+            < objective["paper"].time_avg_cost)
+    assert (objective["derived"].avg_delay_slots
+            < objective["paper"].avg_delay_slots)
+
+    budgets = result.study("cycle_budget")
+    # Tighter budgets are respected...
+    assert budgets[-1].battery_ops <= 31
+    # ...at bounded extra cost (battery is small: < 1% swing).
+    costs = [r.time_avg_cost for r in budgets]
+    assert max(costs) < min(costs) * 1.01
+
+    arrivals = {r.label: r for r in result.study("p4_arrivals")}
+    assert (arrivals["defer"].time_avg_cost
+            <= arrivals["plan"].time_avg_cost * 1.005)
+
+    myopic = result.study("baseline")[0]
+    derived = objective["derived"]
+    assert derived.time_avg_cost < myopic.time_avg_cost

@@ -1,0 +1,29 @@
+"""Bench Fig. 10 — scalability under ``β``-fold system expansion.
+
+Paper claim: with demand and renewables expanded to β times the
+current scale (UPS fixed), total cost grows almost linearly — the
+growth rate slowing as the system expands — and the system stays
+stable (availability intact, delays bounded).
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments.fig10_scaling import render, run_fig10
+
+
+def test_fig10_scaling(benchmark):
+    result = run_once(benchmark, run_fig10)
+    emit("fig10", render(result))
+
+    rows = result.rows
+    assert result.subscaling_holds
+    # Cost grows with scale, but less than proportionally at each step.
+    for prev, cur in zip(rows, rows[1:]):
+        growth = cur.time_avg_cost / prev.time_avg_cost
+        assert growth < cur.beta / prev.beta * 1.02
+        assert growth > 1.0
+    # Per-unit cost stays within a narrow band (no diseconomies).
+    per_unit = [r.cost_per_unit_demand for r in rows]
+    assert max(per_unit) < min(per_unit) * 1.05
+    # Availability survives a 10x expansion.
+    assert all(r.availability == 1.0 for r in rows)

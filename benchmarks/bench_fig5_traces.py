@@ -1,0 +1,27 @@
+"""Bench Fig. 5 — regenerate the one-month input traces.
+
+Checks the synthetic substitutes match the paper's qualitative trace
+properties: diurnal demand with peaks clipped at ``Pgrid``, daytime-only
+solar, double-peaked prices with the long-term market cheaper on
+average.
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments.fig5_traces import render, run_fig5
+
+
+def test_fig5_traces(benchmark):
+    result = run_once(benchmark, run_fig5)
+    emit("fig5", render(result))
+
+    summary = result.summary
+    # Demand peaks were clipped at Pgrid = 2 MWh.
+    assert summary["demand_total"]["max"] <= 2.0 + 1e-9
+    # Solar produces nothing at night and something during the day.
+    assert result.hourly_solar[0] == 0.0
+    assert result.hourly_solar[12] > 0.1
+    # The long-term market is cheaper on average (paper Section II-B.2).
+    assert result.price_premium_rt_over_lt > 0.0
+    # Renewables cover a noticeable but minority share of demand.
+    assert 0.02 < result.renewable_penetration < 0.5

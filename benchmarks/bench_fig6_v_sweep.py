@@ -1,0 +1,30 @@
+"""Bench Fig. 6(a,b) — cost and delay versus ``V``.
+
+The headline reproduction: the ``[O(1/V), O(V)]`` cost-delay trade-off.
+Assertions encode the paper's claimed shape: cost falls toward the
+offline optimum as ``V`` grows, delay rises roughly linearly, and
+SmartDPSS sits between Impatient (cost) and the offline optimum.
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments.fig6_v_sweep import render, run_fig6_v
+
+
+def test_fig6_v_sweep(benchmark):
+    result = run_once(benchmark, run_fig6_v)
+    emit("fig6_v", render(result))
+
+    rows = result.rows
+    # Shape: cost noninc / delay nondec across the sweep.
+    assert result.cost_monotone_nonincreasing
+    assert result.delay_monotone_nondecreasing
+    # Endpoints move materially (the trade-off is real, not noise).
+    assert rows[-1].time_avg_cost < rows[0].time_avg_cost * 0.97
+    assert rows[-1].avg_delay_slots > rows[0].avg_delay_slots * 3.0
+    # SmartDPSS beats Impatient on cost at every V...
+    assert all(r.time_avg_cost < result.impatient_cost for r in rows)
+    # ...and never beats the clairvoyant offline optimum.
+    assert all(r.time_avg_cost > result.offline_cost for r in rows)
+    # Availability is never sacrificed.
+    assert all(r.availability == 1.0 for r in rows)

@@ -1,0 +1,26 @@
+"""Bench Fig. 7 — ε, battery size and market structure.
+
+Paper claims (Section VI-B.3): cost increases with ε; cost decreases
+with UPS size; the two-timescale market beats real-time-only; and the
+storage benefit exceeds the market benefit which exceeds the ε effect.
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments.fig7_factors import render, run_fig7
+
+
+def test_fig7_factors(benchmark):
+    result = run_once(benchmark, run_fig7)
+    emit("fig7", render(result))
+
+    assert result.epsilon_cost_nondecreasing
+    assert result.battery_cost_nonincreasing
+    assert result.two_markets_cheaper
+    # Larger epsilon trades cost for delay: the largest ε must have
+    # the smallest delay in the sweep.
+    delays = [r.avg_delay_slots for r in result.epsilon_rows]
+    assert delays[-1] == min(delays)
+    # The market-structure effect is substantial (several percent).
+    market = {r.label: r.time_avg_cost for r in result.market_rows}
+    assert market["RTM"] > market["TM"] * 1.03

@@ -1,0 +1,29 @@
+"""Bench Fig. 8 — renewable penetration and demand variation.
+
+Paper claims: operation cost decreases significantly with renewable
+penetration (renewables are harvested cost-free) and increases slightly
+with demand variation (bigger approximation errors), the battery and
+two-timescale markets absorbing most of the fluctuation.
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments.fig8_penetration import render, run_fig8
+
+
+def test_fig8_penetration(benchmark):
+    result = run_once(benchmark, run_fig8)
+    emit("fig8", render(result))
+
+    pen = result.penetration_rows
+    # Cost decreases substantially from 0% to 100% penetration.
+    assert result.penetration_cost_decreasing
+    assert pen[-1].time_avg_cost < pen[0].time_avg_cost * 0.85
+    # And monotonically along the sweep (2% slack per step).
+    costs = [r.time_avg_cost for r in pen]
+    assert all(costs[i + 1] <= costs[i] * 1.02
+               for i in range(len(costs) - 1))
+    # Variation raises cost, but only mildly (paper: "slightly").
+    var = result.variation_rows
+    assert result.variation_cost_increasing
+    assert var[-1].time_avg_cost < var[0].time_avg_cost * 1.15

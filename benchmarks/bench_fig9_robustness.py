@@ -1,0 +1,26 @@
+"""Bench Fig. 9 — robustness to ±50% observation errors.
+
+Paper claim: with uniformly distributed ±50% errors injected into the
+demand, solar and price data the controller sees, the change in cost
+reduction stays within a small band for all ``V`` (their trace:
+[-1.6%, +2.1%]).  Our check allows a slightly wider band (synthetic
+traces, different noise realization) but requires the qualitative
+claim: bounded degradation, no blow-up at any V, availability intact.
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments.fig9_robustness import render, run_fig9
+
+
+def test_fig9_robustness(benchmark):
+    result = run_once(benchmark, run_fig9)
+    emit("fig9", render(result))
+
+    lo, hi = result.difference_band
+    # Bounded degradation across every V (vs the paper's ±2% band on
+    # their single trace; ±8% is still "robust" against ±50% noise).
+    assert -0.08 < lo <= hi < 0.08
+    # Even with noise, SmartDPSS never does materially worse than the
+    # Impatient baseline.
+    assert all(r.noisy_reduction > -0.02 for r in result.rows)

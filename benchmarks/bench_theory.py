@@ -1,0 +1,95 @@
+"""Bench the theory-verification harness.
+
+Regenerates the paper's *analytical* content rather than a figure:
+
+* trace validation — the statistical properties the substitution
+  argument (DESIGN.md §3) rests on;
+* Theorem 1 — the per-slot drift inequality, verified over a month;
+* Theorem 2 — queue/battery/delay/cost-gap bounds against a run;
+* savings decomposition — the Fig. 7 effect-size ranking measured by
+  counterfactual ladder.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.decomposition import decompose_savings
+from repro.analysis.drift import DriftRecorder, verify_drift_inequality
+from repro.analysis.peaks import demand_charge, peak_report
+from repro.analysis.tables import format_table
+from repro.analysis.theory import all_hold, verify_theorem2
+from repro.baselines.offline import OfflineOptimal
+from repro.config.presets import paper_controller_config, paper_system_config
+from repro.sim.engine import Simulator
+from repro.traces.library import make_paper_traces
+from repro.traces.validation import all_valid, validate_paper_traces
+
+
+def theory_report(seed: int = 20130708) -> dict:
+    system = paper_system_config()
+    traces = make_paper_traces(system, seed=seed)
+    config = paper_controller_config()
+
+    validation = validate_paper_traces(traces)
+
+    recorder = DriftRecorder(config)
+    result = Simulator(system, recorder, traces).run()
+    drift = verify_drift_inequality(recorder.samples, system,
+                                    config.epsilon)
+
+    offline = Simulator(system, OfflineOptimal(traces), traces).run()
+    theorem2 = verify_theorem2(
+        result, v=config.v, epsilon=config.epsilon,
+        price_cap_normalized=system.p_max / config.price_scale,
+        y_peak=recorder.delay_queue.peak,
+        offline_time_average=offline.time_average_cost)
+
+    decomposition = decompose_savings(system, traces, config)
+    peaks = peak_report(result)
+    peaks["demand_charge_usd"] = demand_charge(result)
+    return {
+        "validation": validation,
+        "drift": drift,
+        "theorem2": theorem2,
+        "decomposition": decomposition,
+        "peaks": peaks,
+    }
+
+
+def render(report: dict) -> str:
+    parts = ["Theory verification (paper system, V=1, eps=0.5)", ""]
+    parts.append("trace validation:")
+    parts.extend(f"  {check}" for check in report["validation"])
+    parts.append("")
+    drift = report["drift"]
+    parts.append(
+        f"Theorem 1 drift inequality: holds={drift['holds']} over "
+        f"{drift['n_samples']} slots (worst margin "
+        f"{drift['worst_margin']:.3f}, H_slot={drift['h_slot']:.3f})")
+    parts.append("")
+    parts.append("Theorem 2 bounds:")
+    parts.extend(f"  {check}" for check in report["theorem2"])
+    parts.append("")
+    rows = report["decomposition"].as_rows()
+    parts.append(format_table(["mechanism", "$/slot saved"], rows,
+                              title="savings decomposition"))
+    parts.append("")
+    peaks = report["peaks"]
+    parts.append(
+        "grid-draw peaks (paper Section IV-C future work): "
+        f"peak={peaks['peak_mwh']:.2f} MWh, "
+        f"p99={peaks['p99_mwh']:.2f}, load factor "
+        f"{peaks['load_factor']:.2f}, demand charge "
+        f"${peaks['demand_charge_usd']:.0f}/month at $10k/MW")
+    return "\n".join(parts)
+
+
+def test_theory_verification(benchmark):
+    report = run_once(benchmark, theory_report)
+    emit("theory", render(report))
+
+    assert all_valid(report["validation"])
+    assert report["drift"]["holds"]
+    assert all_hold(report["theorem2"])
+    decomposition = report["decomposition"]
+    assert decomposition.total_saving > 0.0
+    assert decomposition.markets_value > 0.0

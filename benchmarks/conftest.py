@@ -1,0 +1,29 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark runs its experiment exactly once under
+``pytest-benchmark`` timing (``rounds=1``: these are full experiment
+sweeps, not microbenchmarks), prints the regenerated figure series,
+and writes it to ``benchmarks/out/<experiment>.txt`` so EXPERIMENTS.md
+can quote paper-vs-measured numbers from a stable location.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit(experiment_id: str, rendered: str) -> None:
+    """Print a regenerated figure and persist it under benchmarks/out."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{experiment_id}.txt"
+    path.write_text(rendered + "\n", encoding="utf-8")
+    print()
+    print(rendered)
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run an experiment exactly once under benchmark timing."""
+    return benchmark.pedantic(func, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,56 @@
+"""Greening a datacenter: how much on-site renewable is worth it?
+
+The paper's Fig. 8 shows operation cost falling with renewable
+penetration.  This example turns that into the capacity-planning
+question an operator actually asks: *as I grow my on-site plant, how
+much of each added megawatt-hour is actually used, and what happens to
+my bill?*  It also contrasts solar-only with a solar+wind mix — wind
+produces at night, complementing the solar profile and the overnight
+batch workload.
+
+Run:  python examples/green_datacenter.py
+"""
+
+from repro import (
+    Simulator,
+    SmartDPSS,
+    paper_controller_config,
+    paper_system_config,
+    rescale_renewable_penetration,
+)
+from repro.traces import WindModel, make_paper_traces
+
+
+def sweep_penetration(system, base_traces, label: str) -> None:
+    print(f"--- {label} ---")
+    print(f"{'penetration':>12s} {'cost/slot':>10s} {'waste MWh':>10s} "
+          f"{'renewable used':>15s}")
+    for level in (0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0):
+        traces = rescale_renewable_penetration(base_traces, level)
+        controller = SmartDPSS(paper_controller_config())
+        result = Simulator(system, controller, traces).run()
+        print(f"{level:12.0%} {result.time_average_cost:10.2f} "
+              f"{result.waste_total:10.1f} "
+              f"{result.renewable_utilization:15.1%}")
+    print()
+
+
+def main() -> None:
+    system = paper_system_config()
+
+    solar_only = make_paper_traces(system, seed=99)
+    sweep_penetration(system, solar_only, "solar only")
+
+    solar_wind = make_paper_traces(system, seed=99,
+                                   wind_model=WindModel(capacity_mw=1.0))
+    sweep_penetration(system, solar_wind, "solar + wind mix")
+
+    print("Takeaway: the bill falls steeply while added renewables are")
+    print("absorbed, then flattens once midday surpluses outrun the")
+    print("battery and the deferrable workload; a night-producing wind")
+    print("component keeps marginal utilization higher at the same")
+    print("penetration level.")
+
+
+if __name__ == "__main__":
+    main()

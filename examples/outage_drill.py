@@ -1,0 +1,75 @@
+"""Outage drill: what does the UPS actually buy you when the grid dies?
+
+The paper opens with datacenter outages (Amazon, October 2012) and
+requires the battery reserve ``Bmin`` to carry peak demand for about a
+minute.  This example injects random grid outages into the month and
+measures ride-through for different battery sizes: how much of the
+outage-hour delay-sensitive demand survives on battery plus solar.
+
+Hour-long outages dwarf a minutes-scale UPS — which is exactly the
+point: the UPS bridges to generators/graceful shutdown, and this drill
+quantifies the bridge.
+
+Run:  python examples/outage_drill.py
+"""
+
+import numpy as np
+
+from repro import (
+    Simulator,
+    SmartDPSS,
+    make_paper_traces,
+    paper_controller_config,
+    paper_system_config,
+)
+from repro.sim.outages import ride_through_report, sample_outages
+
+
+def main() -> None:
+    rng = np.random.default_rng(2012)
+    base_system = paper_system_config()
+    traces = make_paper_traces(base_system, seed=2012)
+    schedule = sample_outages(base_system.horizon_slots, rng,
+                              events_per_month=5,
+                              mean_duration_slots=1.5)
+    print(f"injected {len(schedule.events)} outage events covering "
+          f"{schedule.total_outage_slots} hours of the month")
+    print()
+
+    for reserve_label, reserve_fraction in (
+            ("1-minute reserve (paper default)", None),
+            ("half-capacity outage reserve", 0.5)):
+        print(f"--- {reserve_label} ---")
+        print(f"{'battery':>10s} {'outage avail':>13s} "
+              f"{'battery MWh':>12s} {'unserved MWh':>13s} "
+              f"{'month avail':>12s}")
+        for minutes in (0.0, 15.0, 30.0, 60.0, 120.0):
+            system = paper_system_config(battery_minutes=minutes)
+            if reserve_fraction is not None and system.b_max > 0:
+                system = system.replace(
+                    b_min=system.b_max * reserve_fraction,
+                    b_init=None)
+            capacity = schedule.grid_capacity(system.p_grid)
+            controller = SmartDPSS(paper_controller_config())
+            result = Simulator(system, controller, traces,
+                               grid_capacity=capacity).run()
+            report = ride_through_report(result, schedule)
+            print(f"{minutes:7.0f}min "
+                  f"{report['outage_availability']:13.1%} "
+                  f"{report['battery_discharge_mwh']:12.2f} "
+                  f"{report['ds_unserved_mwh']:13.2f} "
+                  f"{result.availability:12.4f}")
+        print()
+
+    print("Reading the tables: with the paper's 1-minute reserve, a")
+    print("big battery can be caught arbitrage-depleted when the grid")
+    print("fails — ride-through does not grow monotonically with size.")
+    print("Reserving capacity (higher Bmin) trades arbitrage profit")
+    print("for dependable ride-through; either way, covering hour-")
+    print("scale outages needs hours of storage, which is why real")
+    print("datacenters pair a minutes-scale UPS with diesel generators")
+    print("— the UPS only has to outlive generator spin-up.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: run SmartDPSS on one month of synthetic traces.
+
+Builds the paper's evaluation system (a 2 MW-peak datacenter with a
+15-minute UPS, day-ahead + real-time markets, on-site solar), runs the
+SmartDPSS online controller against the Impatient baseline and the
+clairvoyant offline optimum, and prints the cost/delay comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ImpatientController,
+    OfflineOptimal,
+    Simulator,
+    SmartDPSS,
+    make_paper_traces,
+    paper_controller_config,
+    paper_system_config,
+)
+
+
+def main() -> None:
+    system = paper_system_config()
+    traces = make_paper_traces(system, seed=2013)
+    print(f"horizon: {system.horizon_slots} hourly slots "
+          f"({system.num_coarse_slots} day-ahead market days)")
+    print(f"total demand: {traces.demand_total.sum():.0f} MWh "
+          f"({traces.renewable_penetration:.0%} coverable by solar)")
+    print()
+
+    controllers = [
+        SmartDPSS(paper_controller_config(v=1.0)),
+        ImpatientController(),
+        OfflineOptimal(traces),
+    ]
+    header = (f"{'policy':34s} {'cost/slot':>10s} {'avg delay':>10s} "
+              f"{'worst':>6s} {'avail':>6s}")
+    print(header)
+    print("-" * len(header))
+    for controller in controllers:
+        result = Simulator(system, controller, traces).run()
+        print(f"{result.controller_name:34s} "
+              f"{result.time_average_cost:10.2f} "
+              f"{result.average_delay_hours():9.1f}h "
+              f"{result.worst_delay_slots:5d}h "
+              f"{result.availability:6.3f}")
+
+    print()
+    smart = Simulator(system, SmartDPSS(paper_controller_config()),
+                      traces).run()
+    breakdown = smart.costs.as_dict()
+    print("SmartDPSS cost breakdown ($ over the month):")
+    for component, dollars in breakdown.items():
+        print(f"  {component:10s} {dollars:10.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Robustness study: how bad can the operator's data feeds get?
+
+The paper's Fig. 9 injects ±50% uniform errors into the demand, solar
+and price observations and shows SmartDPSS barely notices.  This
+example sweeps the error magnitude from 0 to ±80% and separates the
+damage by *which* feed is corrupted — prices, demand, or renewables —
+so an operator knows which sensor/forecast to invest in first.
+
+Run:  python examples/robustness_study.py
+"""
+
+import numpy as np
+
+from repro import (
+    Simulator,
+    SmartDPSS,
+    make_paper_traces,
+    paper_controller_config,
+    paper_system_config,
+    uniform_observation_noise,
+)
+
+
+def corrupt_one_feed(traces, feed: str, rel_error: float,
+                     rng: np.random.Generator, price_cap: float):
+    """Perturb a single series, leaving the others exact."""
+    noisy = uniform_observation_noise(traces, rel_error, rng,
+                                      price_cap=price_cap)
+    fields = {
+        "prices": {"price_rt": noisy.price_rt,
+                   "price_lt_hourly": noisy.price_lt_hourly},
+        "demand": {"demand_ds": noisy.demand_ds,
+                   "demand_dt": noisy.demand_dt},
+        "renewable": {"renewable": noisy.renewable},
+    }[feed]
+    return traces.replace(**fields)
+
+
+def main() -> None:
+    system = paper_system_config()
+    traces = make_paper_traces(system, seed=31)
+    controller_config = paper_controller_config()
+
+    clean = Simulator(system, SmartDPSS(controller_config),
+                      traces).run()
+    print(f"clean-observation cost/slot: {clean.time_average_cost:.2f}")
+    print()
+
+    print("all feeds corrupted together:")
+    print(f"{'error':>7s} {'cost/slot':>10s} {'degradation':>12s}")
+    for error in (0.1, 0.25, 0.5, 0.8):
+        rng = np.random.default_rng(1000 + int(error * 100))
+        observed = uniform_observation_noise(traces, error, rng,
+                                             price_cap=system.p_max)
+        result = Simulator(system, SmartDPSS(controller_config),
+                           traces, observed=observed).run()
+        degradation = (result.time_average_cost
+                       / clean.time_average_cost - 1.0)
+        print(f"{error:7.0%} {result.time_average_cost:10.2f} "
+              f"{degradation:12.2%}")
+
+    print()
+    print("±50% error on one feed at a time:")
+    print(f"{'feed':>10s} {'cost/slot':>10s} {'degradation':>12s}")
+    for feed in ("prices", "demand", "renewable"):
+        rng = np.random.default_rng(2000 + hash(feed) % 100)
+        observed = corrupt_one_feed(traces, feed, 0.5, rng,
+                                    system.p_max)
+        result = Simulator(system, SmartDPSS(controller_config),
+                           traces, observed=observed).run()
+        degradation = (result.time_average_cost
+                       / clean.time_average_cost - 1.0)
+        print(f"{feed:>10s} {result.time_average_cost:10.2f} "
+              f"{degradation:12.2%}")
+
+    print()
+    print("Availability never degrades — the engine's emergency path")
+    print("serves delay-sensitive demand regardless of what the")
+    print("controller believed; only the bill and delays suffer.")
+
+
+if __name__ == "__main__":
+    main()

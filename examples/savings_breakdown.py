@@ -1,0 +1,65 @@
+"""Where do SmartDPSS's savings come from?
+
+The paper attributes its gains to three mechanisms — deferring the
+delay-tolerant workload to cheap periods, buying ahead in the cheaper
+long-term market, and time-shifting energy through the UPS.  This
+example measures each contribution with a counterfactual ladder
+(enable one mechanism at a time) and shows *when* the full controller
+buys and cycles, using the library's time-series utilities.
+
+Run:  python examples/savings_breakdown.py
+"""
+
+from repro import (
+    Simulator,
+    SmartDPSS,
+    make_paper_traces,
+    paper_controller_config,
+    paper_system_config,
+)
+from repro.analysis.decomposition import decompose_savings
+from repro.analysis.timeseries import (
+    battery_cycle_profile,
+    overnight_share,
+    purchase_profile,
+)
+
+
+def main() -> None:
+    system = paper_system_config()
+    traces = make_paper_traces(system, seed=404)
+    config = paper_controller_config()
+
+    decomposition = decompose_savings(system, traces, config)
+    print("counterfactual savings ladder ($/slot saved vs Impatient):")
+    for mechanism, saving in decomposition.as_rows():
+        print(f"  {mechanism:24s} {saving:+7.3f}")
+    print(f"  (Impatient {decomposition.impatient_cost:.2f} -> "
+          f"SmartDPSS {decomposition.full_cost:.2f} $/slot)")
+    print()
+
+    result = Simulator(system, SmartDPSS(config), traces).run()
+    purchases = purchase_profile(result)
+    battery = battery_cycle_profile(result)
+
+    print("hour  LT-buy  RT-buy  charge  discharge")
+    for hour in range(24):
+        print(f"{hour:4d} {purchases['long_term'][hour]:7.2f} "
+              f"{purchases['real_time'][hour]:7.2f} "
+              f"{battery['charge'][hour]:7.3f} "
+              f"{battery['discharge'][hour]:10.3f}")
+    print()
+    print(f"overnight share of real-time purchases: "
+          f"{overnight_share(result.series['grt']):.0%}")
+    print(f"overnight share of battery charging:    "
+          f"{overnight_share(result.series['charge']):.0%}")
+    print()
+    print("The pattern to look for: real-time purchases and battery")
+    print("charging cluster in the overnight price trough, while")
+    print("discharges sit under the morning and evening price peaks —")
+    print("the two-timescale Lyapunov weights rediscover the")
+    print("peak-shaving schedule without any forecast.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Package metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments whose setuptools lacks PEP 660
+editable-wheel support (e.g. offline machines without the ``wheel``
+package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Policy-to-policy comparison metrics.
+
+The paper reports results as *cost reductions* relative to baselines
+(Fig. 9's y-axis is "percentage of DPSS operation cost reduction") and
+as gaps to the offline optimum (Fig. 6a).  These helpers centralize
+those computations so every experiment reports them identically.
+"""
+
+from __future__ import annotations
+
+from repro.sim.results import SimulationResult
+
+
+def cost_reduction(result: SimulationResult,
+                   baseline: SimulationResult) -> float:
+    """Fractional cost saved relative to a baseline policy.
+
+    ``0.12`` means 12% cheaper than the baseline; negative means more
+    expensive.
+    """
+    base = baseline.time_average_cost
+    if base == 0:
+        raise ValueError("baseline has zero cost; reduction undefined")
+    return (base - result.time_average_cost) / base
+
+
+def optimality_gap(result: SimulationResult,
+                   offline: SimulationResult) -> float:
+    """Fractional excess over the offline optimum (Fig. 6a's gap)."""
+    opt = offline.time_average_cost
+    if opt == 0:
+        raise ValueError("offline optimum has zero cost; gap undefined")
+    return (result.time_average_cost - opt) / opt
+
+
+def delay_cost_frontier(results: list[SimulationResult],
+                        ) -> list[tuple[float, float]]:
+    """(delay, cost) points sorted by delay — the paper's trade-off curve."""
+    points = [(r.average_delay_slots, r.time_average_cost)
+              for r in results]
+    return sorted(points)

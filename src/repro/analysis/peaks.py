@@ -1,0 +1,64 @@
+"""Power-peak analysis: the paper's second future-work item.
+
+Section IV-C notes that "SmartDPSS may incur power peaks due to its
+goal of executing as much demand as possible during periods of more
+available renewable energy and lower electricity price", bounded only
+by ``Pgrid``, and defers "power peaks management" to future work.
+This module supplies the measurement side:
+
+* :func:`grid_draw_series` — the feeder draw the utility meters;
+* :func:`peak_report` — peak, high quantiles and load factor;
+* :func:`demand_charge` — the billing construct that makes peaks
+  expensive in real tariffs: dollars per MW of the month's maximum
+  draw (commonly $5-20/kW-month, i.e. thousands per MW).
+
+``demand_charge`` is reporting-side only — it does not enter the
+paper's `Cost(τ)` — so experiments can quantify how much a
+peak-blind cost-minimizer would owe under a demand-charge tariff, the
+motivating number for the future work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.results import SimulationResult
+
+
+def grid_draw_series(result: SimulationResult) -> np.ndarray:
+    """Per-slot feeder draw (advance delivery + real-time), MWh."""
+    return result.series["gbef_rate"] + result.series["grt"]
+
+
+def peak_report(result: SimulationResult) -> dict[str, float]:
+    """Peak statistics of the metered grid draw."""
+    draw = grid_draw_series(result)
+    mean = float(draw.mean())
+    peak = float(draw.max())
+    return {
+        "peak_mwh": peak,
+        "p99_mwh": float(np.percentile(draw, 99)),
+        "p95_mwh": float(np.percentile(draw, 95)),
+        "mean_mwh": mean,
+        "load_factor": mean / peak if peak > 0 else 1.0,
+        "slots_at_95pct_of_peak":
+            float((draw >= 0.95 * peak).sum()),
+    }
+
+
+def demand_charge(result: SimulationResult,
+                  dollars_per_mw_month: float = 10_000.0,
+                  slots_per_month: int = 744) -> float:
+    """Demand-charge bill for the horizon under a peak tariff.
+
+    ``dollars_per_mw_month`` is the tariff on the billing period's
+    maximum draw ($10k/MW-month ≈ $10/kW-month, a typical commercial
+    rate); horizons other than a month are prorated.
+    """
+    if dollars_per_mw_month < 0:
+        raise ValueError(
+            f"tariff must be >= 0, got {dollars_per_mw_month}")
+    draw = grid_draw_series(result)
+    peak_mw = float(draw.max()) / result.system.slot_hours
+    months = result.n_slots / slots_per_month
+    return peak_mw * dollars_per_mw_month * months

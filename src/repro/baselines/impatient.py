@@ -1,0 +1,62 @@
+"""The paper's Impatient online baseline.
+
+"An online algorithm Impatient that always schedules workloads
+immediately regardless of the changes of electricity prices and
+renewable production" (Section VI-A).  Concretely:
+
+* long-term planning buys exactly the currently observed total demand
+  net of renewables (no strategic over/under-buying);
+* every fine slot serves the whole backlog (``γ = 1``) and buys
+  whatever real-time energy the advance block and renewables do not
+  cover — at whatever the current price happens to be;
+* the battery is left passive; the engine still lets surplus charge it
+  and deficits drain it (it is physically on the bus), but Impatient
+  never *plans* around it.
+
+Impatient therefore achieves minimal delay (everything is served at
+the first opportunity) at the cost of buying mismatches at real-time
+prices and wasting surplus — the paper's Fig. 6(a,b) contrast.
+"""
+
+from __future__ import annotations
+
+from repro.config.system import SystemConfig
+from repro.core.interfaces import (
+    CoarseObservation,
+    Controller,
+    FineObservation,
+    RealTimeDecision,
+)
+
+
+class ImpatientController(Controller):
+    """Serve-everything-now baseline."""
+
+    def __init__(self, plan_for_total_demand: bool = True):
+        self.plan_for_total_demand = plan_for_total_demand
+        self.system: SystemConfig | None = None
+
+    @property
+    def name(self) -> str:
+        return "Impatient"
+
+    def begin_horizon(self, system: SystemConfig) -> None:
+        self.system = system
+
+    def plan_long_term(self, obs: CoarseObservation) -> float:
+        assert self.system is not None, "begin_horizon() not called"
+        demand = (obs.demand_total if self.plan_for_total_demand
+                  else obs.demand_ds)
+        rate = max(0.0, demand - obs.renewable)
+        rate = min(rate, self.system.p_grid)
+        return rate * self.system.fine_slots_per_coarse
+
+    def real_time(self, obs: FineObservation) -> RealTimeDecision:
+        assert self.system is not None, "begin_horizon() not called"
+        # Serve the full backlog (up to the service cap) plus all
+        # delay-sensitive demand, buying any shortfall right now.
+        sdt = min(obs.backlog, self.system.s_dt_max)
+        needed = obs.demand_ds + sdt - obs.long_term_rate - obs.renewable
+        grt = min(max(0.0, needed),
+                  obs.grid_headroom, obs.supply_headroom)
+        return RealTimeDecision(grt=grt, gamma=1.0)

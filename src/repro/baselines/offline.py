@@ -1,0 +1,199 @@
+"""Clairvoyant offline benchmark ``φopt`` (paper Section II-D).
+
+The paper benchmarks SmartDPSS against an offline optimum computed with
+full knowledge of demand, renewables and prices.  Its P2 construction
+solves one LP per coarse slot; we solve the *joint* LP over the whole
+horizon instead, which additionally co-optimizes the battery state
+across coarse slots — a strictly stronger (cheaper or equal) benchmark,
+so the online-to-offline gap we report is conservative.
+
+Linear program
+--------------
+Variables per coarse slot ``k``: advance block ``g[k]``.  Per fine slot
+``τ``: real-time purchase ``grt[τ]``, deferrable service ``sdt[τ]``,
+charge ``brc[τ]``, discharge ``bdc[τ]``, waste ``w[τ]``; state
+variables ``b[τ]`` (battery) and ``q[τ]`` (backlog) plus a cumulative
+service counter for the deadline constraint.
+
+    min  Σ_k g[k]·plt[k] + Σ_τ grt[τ]·prt[τ] + wp·Σ_τ w[τ]
+         (+ proxy·Σ(brc+bdc), optional battery-wear linearization)
+
+    s.t. g[k]/T + grt + r + bdc − brc − w = dds + sdt         (balance)
+         g[k]/T + grt ≤ Pgrid                                  (eq. 5)
+         b[τ+1] = b[τ] + ηc·brc − ηd·bdc,  Bmin ≤ b ≤ Bmax     (eq. 3/7)
+         q[τ+1] = q[τ] − sdt + ddt,  sdt ≤ q                   (eq. 2)
+         cumulative service ≥ arrivals older than the deadline (λmax)
+
+The non-convex per-operation battery cost ``n(τ)·Cb`` is omitted from
+the LP (an optional linear proxy is available); the replayed cost
+through the simulation engine *does* include it, so reported offline
+costs are honest.  See DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.system import SystemConfig
+from repro.core.interfaces import (
+    CoarseObservation,
+    Controller,
+    FineObservation,
+    RealTimeDecision,
+)
+from repro.solvers.highs import solve_with_highs
+from repro.solvers.linear_program import LpModel
+from repro.traces.base import TraceSet
+
+#: Default service deadline for deferrable demand in the offline LP.
+DEFAULT_DEADLINE_SLOTS = 48
+
+
+@dataclass(frozen=True)
+class OfflinePlan:
+    """Solved offline schedule (all arrays over the horizon)."""
+
+    gbef: np.ndarray        # per coarse slot
+    grt: np.ndarray         # per fine slot
+    sdt: np.ndarray
+    charge: np.ndarray
+    discharge: np.ndarray
+    waste: np.ndarray
+    battery: np.ndarray     # length N+1
+    backlog: np.ndarray     # length N+1
+    lp_objective: float
+
+    @property
+    def rt_energy(self) -> float:
+        """Total real-time purchases (Lemma 1 predicts ≈ 0)."""
+        return float(self.grt.sum())
+
+
+def solve_offline_plan(system: SystemConfig, traces: TraceSet,
+                       deadline_slots: int = DEFAULT_DEADLINE_SLOTS,
+                       include_real_time: bool = True,
+                       cycle_proxy_cost: float = 0.0) -> OfflinePlan:
+    """Build and solve the full-horizon LP."""
+    n = system.horizon_slots
+    t_slots = system.fine_slots_per_coarse
+    k_slots = system.num_coarse_slots
+    if traces.n_slots < n:
+        raise ValueError(
+            f"traces cover {traces.n_slots} slots, need {n}")
+    plt = traces.coarse_prices(t_slots)
+    dds = traces.demand_ds
+    ddt = traces.demand_dt
+    renewable = traces.renewable
+    prt = traces.price_rt
+
+    model = LpModel("offline-optimal")
+    g = [model.add_var(f"g[{k}]", lb=0.0,
+                       ub=system.p_grid * t_slots, cost=float(plt[k]))
+         for k in range(k_slots)]
+    grt_ub = system.p_grid if include_real_time else 0.0
+    grt = [model.add_var(f"grt[{i}]", lb=0.0, ub=grt_ub,
+                         cost=float(prt[i])) for i in range(n)]
+    sdt = [model.add_var(f"sdt[{i}]", lb=0.0, ub=system.s_dt_max)
+           for i in range(n)]
+    brc = [model.add_var(f"brc[{i}]", lb=0.0, ub=system.b_charge_max,
+                         cost=cycle_proxy_cost) for i in range(n)]
+    bdc = [model.add_var(f"bdc[{i}]", lb=0.0,
+                         ub=system.b_discharge_max,
+                         cost=cycle_proxy_cost) for i in range(n)]
+    waste = [model.add_var(f"w[{i}]", lb=0.0,
+                           cost=system.waste_penalty) for i in range(n)]
+    battery = [model.add_var(f"b[{i}]", lb=system.b_min,
+                             ub=system.b_max) for i in range(n + 1)]
+    backlog = [model.add_var(f"q[{i}]", lb=0.0) for i in range(n + 1)]
+    served_cum = [model.add_var(f"S[{i}]", lb=0.0) for i in range(n + 1)]
+
+    # Initial state.
+    model.add_eq({battery[0]: 1.0}, system.initial_battery)
+    model.add_eq({backlog[0]: 1.0}, 0.0)
+    model.add_eq({served_cum[0]: 1.0}, 0.0)
+
+    arrivals_cum = np.concatenate([[0.0], np.cumsum(ddt[:n])])
+    inv_t = 1.0 / t_slots
+    for i in range(n):
+        k = i // t_slots
+        # Supply-demand balance (eq. 4).
+        model.add_eq({g[k]: inv_t, grt[i]: 1.0, bdc[i]: 1.0,
+                      brc[i]: -1.0, waste[i]: -1.0, sdt[i]: -1.0},
+                     float(dds[i] - renewable[i]))
+        # Grid cap (eq. 5).
+        model.add_le({g[k]: inv_t, grt[i]: 1.0}, system.p_grid)
+        # Battery dynamics (eq. 3).
+        model.add_eq({battery[i + 1]: 1.0, battery[i]: -1.0,
+                      brc[i]: -system.eta_c, bdc[i]: system.eta_d}, 0.0)
+        # Backlog dynamics (eq. 2) and service limit.
+        model.add_eq({backlog[i + 1]: 1.0, backlog[i]: -1.0,
+                      sdt[i]: 1.0}, float(ddt[i]))
+        model.add_le({sdt[i]: 1.0, backlog[i]: -1.0}, 0.0)
+        # Cumulative service for the deadline constraint.
+        model.add_eq({served_cum[i + 1]: 1.0, served_cum[i]: -1.0,
+                      sdt[i]: -1.0}, 0.0)
+        if deadline_slots is not None and i + 1 > deadline_slots:
+            due = float(arrivals_cum[i + 1 - deadline_slots])
+            model.add_ge({served_cum[i + 1]: 1.0}, due)
+
+    solution = solve_with_highs(model)
+    return OfflinePlan(
+        gbef=solution.values(g),
+        grt=solution.values(grt),
+        sdt=solution.values(sdt),
+        charge=solution.values(brc),
+        discharge=solution.values(bdc),
+        waste=solution.values(waste),
+        battery=solution.values(battery),
+        backlog=solution.values(backlog),
+        lp_objective=solution.objective,
+    )
+
+
+class OfflineOptimal(Controller):
+    """Replays the offline plan through the simulation engine.
+
+    Replaying (rather than trusting the LP objective) keeps accounting
+    identical across policies: the engine adds the battery
+    per-operation cost the LP relaxes away, clamps any residual
+    numerical slack, and measures delays with the same FIFO ledger.
+    """
+
+    def __init__(self, traces: TraceSet,
+                 deadline_slots: int = DEFAULT_DEADLINE_SLOTS,
+                 include_real_time: bool = True,
+                 cycle_proxy_cost: float = 0.0):
+        self._traces = traces
+        self._deadline = deadline_slots
+        self._include_rt = include_real_time
+        self._proxy = cycle_proxy_cost
+        self.plan: OfflinePlan | None = None
+        self.system: SystemConfig | None = None
+
+    @property
+    def name(self) -> str:
+        return "OfflineOptimal"
+
+    def begin_horizon(self, system: SystemConfig) -> None:
+        self.system = system
+        self.plan = solve_offline_plan(
+            system, self._traces, deadline_slots=self._deadline,
+            include_real_time=self._include_rt,
+            cycle_proxy_cost=self._proxy)
+
+    def plan_long_term(self, obs: CoarseObservation) -> float:
+        assert self.plan is not None, "begin_horizon() not called"
+        return float(self.plan.gbef[obs.coarse_index])
+
+    def real_time(self, obs: FineObservation) -> RealTimeDecision:
+        assert self.plan is not None, "begin_horizon() not called"
+        slot = obs.fine_slot
+        planned_service = float(self.plan.sdt[slot])
+        if obs.backlog > 1e-12 and planned_service > 0:
+            gamma = min(1.0, planned_service / obs.backlog)
+        else:
+            gamma = 0.0
+        return RealTimeDecision(grt=float(self.plan.grt[slot]),
+                                gamma=gamma)

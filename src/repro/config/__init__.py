@@ -1,0 +1,33 @@
+"""Validated configuration objects for the DPSS system and controllers.
+
+Two layers of configuration mirror the paper's separation of concerns:
+
+* :class:`~repro.config.system.SystemConfig` — the *physical* datacenter
+  power supply system: horizon, markets, grid cap, UPS battery, demand
+  caps.  Section II of the paper.
+* :class:`~repro.config.control.SmartDPSSConfig` — the *algorithmic*
+  knobs of the online controller: ``V``, ``ε``, objective mode, market
+  usage.  Sections III-IV of the paper.
+
+:mod:`repro.config.presets` builds the exact parameterization of the
+paper's evaluation (Section VI-A).
+"""
+
+from repro.config.control import ObjectiveMode, SmartDPSSConfig
+from repro.config.presets import (
+    PAPER_BATTERY_MINUTES,
+    PAPER_PEAK_DEMAND_MW,
+    paper_controller_config,
+    paper_system_config,
+)
+from repro.config.system import SystemConfig
+
+__all__ = [
+    "SystemConfig",
+    "SmartDPSSConfig",
+    "ObjectiveMode",
+    "paper_system_config",
+    "paper_controller_config",
+    "PAPER_BATTERY_MINUTES",
+    "PAPER_PEAK_DEMAND_MW",
+]

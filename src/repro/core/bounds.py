@@ -1,0 +1,173 @@
+"""Analytical constants of the paper's performance theory.
+
+Implements every constant appearing in Theorem 1 (drift-plus-penalty
+bound), Corollary 1 (loosened bound under the current-statistics
+approximation), Theorem 2 (queue/battery/delay/cost bounds), Theorem 3
+(robustness) and Corollary 2 (scalability):
+
+    H1   = Sdtmax² + ½(Ddtmax² + Bcmax²ηc² + Bdmax²ηd² + ε²)
+    H2   = H1 + T(T−1)Bcmax²ηc² + T(T−1)ε²
+    H3   = H2 + T·θmax(2Sdtmax + Ddtmax + Bcmax·ηc + Bdmax·ηd + ε)
+    Vmax = T(Bmax − Bmin − Bdmax·ηd − Bcmax·ηc − Ddtmax − ε)/Pmax
+    Qmax = V·Pmax/T + Ddtmax      Ymax = V·Pmax/T + ε
+    Umax = V·Pmax/T + Ddtmax + ε
+    λmax = ⌈(2V·Pmax/T + Ddtmax + ε)/ε⌉
+    cost gap ≤ H2/V   (H3/V with estimation error)
+
+Two variants are provided because the paper's Algorithm 1 and its
+Theorem 2 disagree on a factor of ``T``: P4/P5 compare queue sums
+against ``V·plt`` (no ``1/T``), while the theorem's bounds carry
+``V·Pmax/T``.  ``BoundVariant.PAPER`` reports the printed formulas;
+``BoundVariant.IMPLEMENTATION`` replaces ``Pmax/T → Pmax`` so the
+bounds match the algorithm as actually specified (and as implemented
+here) — the property-based tests check the implementation variant
+against simulations.
+
+Prices here are *normalized* controller units (see
+``SmartDPSSConfig``-driven normalization in :mod:`repro.core.smartdpss`);
+pass the normalized price cap for consistent magnitudes.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.config.system import SystemConfig
+
+
+class BoundVariant(str, enum.Enum):
+    """Which reading of the theorem constants to report."""
+
+    PAPER = "paper"                    # V·Pmax/T thresholds, as printed
+    IMPLEMENTATION = "implementation"  # V·Pmax thresholds, as coded
+
+
+@dataclass(frozen=True)
+class TheoreticalBounds:
+    """All constants from Theorems 1-3 for one configuration."""
+
+    h1: float
+    h2: float
+    h3: float
+    v_max: float
+    q_max: float
+    y_max: float
+    u_max: float
+    lambda_max: int
+    cost_gap: float
+    variant: BoundVariant
+
+    @property
+    def theory_applies(self) -> bool:
+        """Whether the Theorem 2 precondition ``0 < V ≤ Vmax`` can hold.
+
+        The paper's own evaluation battery violates it (the safety
+        margins exceed ``Bmax``); experiments then rely on the
+        engine's physical clamps instead of the Lyapunov battery
+        argument.
+        """
+        return self.v_max > 0
+
+
+def compute_bounds(system: SystemConfig,
+                   v: float,
+                   epsilon: float,
+                   price_cap: float,
+                   theta_max: float = 0.0,
+                   variant: BoundVariant = BoundVariant.IMPLEMENTATION,
+                   ) -> TheoreticalBounds:
+    """Evaluate every theorem constant for one configuration.
+
+    Parameters
+    ----------
+    system:
+        Physical system (battery caps, demand caps, ``T``).
+    v / epsilon:
+        Controller parameters.
+    price_cap:
+        ``Pmax`` in the controller's (normalized) price units.
+    theta_max:
+        Queue-estimation error bound of Theorem 3 (0 → ``H3 = H2``).
+    variant:
+        Paper-literal or implementation-consistent (see module doc).
+    """
+    if v <= 0:
+        raise ValueError(f"V must be > 0, got {v}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    if price_cap <= 0:
+        raise ValueError(f"price cap must be > 0, got {price_cap}")
+    if theta_max < 0:
+        raise ValueError(f"theta_max must be >= 0, got {theta_max}")
+
+    t_slots = system.fine_slots_per_coarse
+    charge_sq = (system.b_charge_max * system.eta_c) ** 2
+    discharge_sq = (system.b_discharge_max * system.eta_d) ** 2
+
+    h1 = (system.s_dt_max ** 2
+          + 0.5 * (system.d_dt_max ** 2 + charge_sq + discharge_sq
+                   + epsilon ** 2))
+    h2 = (h1 + t_slots * (t_slots - 1) * charge_sq
+          + t_slots * (t_slots - 1) * epsilon ** 2)
+    h3 = h2 + t_slots * theta_max * (
+        2.0 * system.s_dt_max + system.d_dt_max
+        + system.b_charge_max * system.eta_c
+        + system.b_discharge_max * system.eta_d + epsilon)
+
+    v_max = t_slots * (system.b_max - system.b_min
+                       - system.b_discharge_max * system.eta_d
+                       - system.b_charge_max * system.eta_c
+                       - system.d_dt_max - epsilon) / price_cap
+
+    if variant is BoundVariant.PAPER:
+        threshold = v * price_cap / t_slots
+        q_growth = system.d_dt_max
+        y_growth = epsilon
+    else:
+        # The algorithm as specified compares Q + Y against V·plt (no
+        # 1/T), and its Lyapunov weights are frozen for a whole coarse
+        # window, during which the queues can grow unchecked — hence
+        # the T-scaled growth terms.
+        threshold = v * price_cap
+        q_growth = t_slots * system.d_dt_max
+        y_growth = t_slots * epsilon
+    q_max = threshold + q_growth
+    y_max = threshold + y_growth
+    u_max = threshold + q_growth + y_growth
+    lambda_max = math.ceil((2.0 * threshold + q_growth + y_growth)
+                           / epsilon)
+    cost_gap = (h3 if theta_max > 0 else h2) / v
+
+    return TheoreticalBounds(h1=h1, h2=h2, h3=h3, v_max=v_max,
+                             q_max=q_max, y_max=y_max, u_max=u_max,
+                             lambda_max=lambda_max, cost_gap=cost_gap,
+                             variant=variant)
+
+
+def scaled_bounds(bounds: TheoreticalBounds, beta: float,
+                  alpha: float, theta_max: float,
+                  system: SystemConfig,
+                  epsilon: float) -> dict[str, float]:
+    """Corollary 2: constants under ``β``-fold system expansion.
+
+    ``H1(β) = β·H1``, ``H2(β) = β·H2`` and
+    ``H3(β) = β·H2 + T·β^α·θmax·(2Sdtmax + Ddtmax + Bcmax·ηc +
+    Bdmax·ηd + ε)``, with ``α ∈ [1/2, 1]`` the workload-similarity /
+    renewable-correlation exponent.
+    """
+    if beta < 1:
+        raise ValueError(f"beta must be >= 1, got {beta}")
+    if not 0.5 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [1/2, 1], got {alpha}")
+    t_slots = system.fine_slots_per_coarse
+    robustness_term = t_slots * (beta ** alpha) * theta_max * (
+        2.0 * system.s_dt_max + system.d_dt_max
+        + system.b_charge_max * system.eta_c
+        + system.b_discharge_max * system.eta_d + epsilon)
+    return {
+        "h1": beta * bounds.h1,
+        "h2": beta * bounds.h2,
+        "h3": beta * bounds.h2 + robustness_term,
+    }

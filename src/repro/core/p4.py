@@ -1,0 +1,197 @@
+"""P4 — long-term-ahead planning (paper Algorithm 1, step 1).
+
+At each coarse boundary ``t = kT`` the controller chooses the advance
+block ``gbef(t)``, delivered at the flat rate ``x = gbef/T`` per fine
+slot, subject to the feasibility floor
+
+    gbef(t)/T + r(t) + b_avail(t) ≥ dds(t)
+
+(the battery term being the energy actually dischargeable in a slot)
+and the interconnect cap ``gbef/T ≤ Pgrid``.
+
+Two variants, matching the P5 objective modes:
+
+* **paper** — the printed P4 is linear in the single variable ``gbef``
+  with coefficient ``V·plt − Q − Y``, so its solution is bang-bang:
+  the feasibility floor when the coefficient is positive, the grid
+  maximum when the queue pressure exceeds the weighted contract price.
+
+* **derived** — certainty-equivalent planning against the observed
+  window.  The paper's planner "observes the demand d(t) and renewable
+  r(t) generated during time slot t"; the derived planner replays a
+  candidate rate ``x`` against that hourly profile and prices the
+  outcome the way the real-time stage will:
+
+  - delay-sensitive deficits are topped up at that hour's observed
+    real-time price;
+  - the deferrable pool (current backlog + the window's observed
+    arrivals) is served first from surplus slots (free) and then by
+    real-time purchases at the *cheapest* observed hours, respecting
+    the per-slot grid headroom — mirroring how P5 actually schedules
+    deferred load into price dips;
+  - leftover surplus charges the battery toward its Lyapunov target
+    (credit ``−X̂·ηc``) and beyond that is wasted at the penalty rate;
+  - serving current backlog earns the queue drift credit ``Q̂ + Ŷ``.
+
+  The window cost is piecewise linear in ``x``; exact minimization is
+  a sweep over the per-slot breakpoints plus a uniform refinement
+  (:func:`repro.solvers.piecewise.piecewise_candidates_1d`).  Because
+  the whole window is priced, the plan buys more on cheap contract
+  days and less on expensive ones — the cross-day arbitrage the
+  two-timescale market structure exists for — with no future
+  statistics beyond the just-observed window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.control import ObjectiveMode
+from repro.solvers.piecewise import piecewise_candidates_1d
+
+
+@dataclass(frozen=True)
+class P4State:
+    """Inputs to the long-term planning subproblem.
+
+    Prices are in the controller's normalized units.  Profiles are the
+    previous coarse window's per-slot observations (the paper's
+    current-statistics approximation applied to a whole window).
+    """
+
+    v: float
+    price_lt: float
+    q_hat: float
+    y_hat: float
+    x_hat: float
+    t_slots: int
+    demand_ds: float
+    renewable: float
+    battery_level: float
+    p_grid: float
+    discharge_avail: float
+    charge_headroom_total: float
+    eta_c: float
+    s_dt_max: float
+    waste_penalty: float
+    profile_demand_ds: tuple[float, ...] = ()
+    profile_demand_dt: tuple[float, ...] = ()
+    profile_renewable: tuple[float, ...] = ()
+    profile_price_rt: tuple[float, ...] = field(default=())
+    #: When True the plan also sizes for the window's expected
+    #: deferrable arrivals.  Off by default: pre-buying for deferred
+    #: load creates surplus whose timing rarely matches the backlog
+    #: (P5 serves at price dips first), so the flexible load is best
+    #: left to the V-gated real-time stage — see the Abl-4 benchmark.
+    plan_deferrable_arrivals: bool = False
+
+    @property
+    def net_profile(self) -> tuple[float, ...]:
+        """Per-slot delay-sensitive net demand ``dds − r`` (observed)."""
+        if self.profile_demand_ds and self.profile_renewable:
+            return tuple(d - r for d, r in zip(self.profile_demand_ds,
+                                               self.profile_renewable))
+        return (self.demand_ds - self.renewable,)
+
+
+@dataclass(frozen=True)
+class P4Solution:
+    """Chosen advance purchase and its per-slot delivery rate."""
+
+    gbef: float
+    rate: float
+    floor_rate: float
+
+
+def _floor_rate(state: P4State) -> float:
+    """Feasibility floor: cover ``dds`` net of renewables and battery."""
+    return max(0.0, state.demand_ds - state.renewable
+               - state.discharge_avail)
+
+
+def _deferrable_pool(state: P4State, scale: float) -> float:
+    """Deferred energy the plan sizes for (backlog, plus arrivals if on)."""
+    arrivals = 0.0
+    if state.plan_deferrable_arrivals and state.profile_demand_dt:
+        arrivals = sum(state.profile_demand_dt) * scale
+    return min(state.q_hat + arrivals,
+               state.s_dt_max * state.t_slots)
+
+
+def _window_cost(state: P4State, rate: float) -> float:
+    """Certainty-equivalent cost of delivering at ``rate`` (see module doc)."""
+    nets = state.net_profile
+    n = len(nets)
+    prices = (state.profile_price_rt
+              if len(state.profile_price_rt) == n
+              else tuple(state.price_lt for _ in nets))
+    scale = state.t_slots / n
+
+    cost = state.v * state.price_lt * rate * state.t_slots
+    surplus_total = 0.0
+    for net, price in zip(nets, prices):
+        gap = net - rate
+        if gap > 0:
+            # Delay-sensitive deficit: real-time top-up at this hour.
+            cost += state.v * price * gap * scale
+        else:
+            surplus_total += -gap * scale
+
+    # Deferred service: surplus slots first (free), then the cheapest
+    # observed hours at their real-time prices, respecting headroom.
+    pool = _deferrable_pool(state, scale)
+    served_free = min(surplus_total, pool)
+    leftover_surplus = surplus_total - served_free
+    remaining = pool - served_free
+    if remaining > 0:
+        headroom = max(0.0, state.p_grid - rate) * scale
+        for price in sorted(prices):
+            if remaining <= 0 or headroom <= 0:
+                break
+            bought = min(remaining, headroom)
+            cost += state.v * price * bought
+            remaining -= bought
+
+    # Queue drift credit for clearing the current backlog.
+    drift_credit = (state.q_hat + state.y_hat) * min(pool, state.q_hat)
+    cost -= drift_credit
+
+    # Battery tier, then waste.
+    battery_value = -state.x_hat * state.eta_c
+    if battery_value > 0 and state.charge_headroom_total > 0:
+        absorbed = min(leftover_surplus, state.charge_headroom_total)
+        cost -= battery_value * absorbed
+        leftover_surplus -= absorbed
+    cost += state.v * state.waste_penalty * leftover_surplus
+    return cost
+
+
+def solve_p4(state: P4State,
+             mode: ObjectiveMode = ObjectiveMode.DERIVED) -> P4Solution:
+    """Solve the long-term-ahead purchasing subproblem."""
+    floor = min(_floor_rate(state), state.p_grid)
+
+    if mode is ObjectiveMode.PAPER:
+        coefficient = (state.v * state.price_lt
+                       - state.q_hat - state.y_hat)
+        rate = state.p_grid if coefficient < 0 else floor
+        return P4Solution(gbef=rate * state.t_slots, rate=rate,
+                          floor_rate=floor)
+
+    # Derived mode: exact 1-D piecewise-linear minimization over the
+    # delivery rate.  Breakpoints: every per-slot net demand (deficit/
+    # surplus flips) plus a uniform refinement that brackets the
+    # deferred-pool and battery tier boundaries.
+    breakpoints = list(state.net_profile)
+    span = max(state.p_grid, 1e-9)
+    breakpoints.extend(span * i / 64.0 for i in range(65))
+    candidates = piecewise_candidates_1d(floor, state.p_grid, breakpoints)
+    best_rate = floor
+    best_value = float("inf")
+    for rate in candidates:
+        value = _window_cost(state, rate)
+        if value < best_value - 1e-12:
+            best_value = value
+            best_rate = rate
+    return P4Solution(gbef=best_rate * state.t_slots, rate=best_rate,
+                      floor_rate=floor)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the SmartDPSS reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  Subclasses are
+deliberately fine-grained: configuration problems, infeasible control
+actions, solver failures and trace-construction errors are distinct
+failure modes with distinct remedies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, malformed or inconsistent.
+
+    Raised eagerly at construction time by the config dataclasses so that
+    simulations never start with a physically meaningless parameter set
+    (e.g. ``b_min > b_max`` or a negative efficiency).
+    """
+
+
+class InfeasibleActionError(ReproError):
+    """A control action violates a hard physical constraint.
+
+    The simulation engine clamps recoverable violations (and records
+    them); this error is reserved for programming errors such as a
+    controller returning a negative purchase quantity.
+    """
+
+
+class SolverError(ReproError):
+    """An optimization subproblem could not be solved.
+
+    Carries the solver's status string so failures are diagnosable
+    without re-running with extra logging.
+    """
+
+    def __init__(self, message: str, status: str | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class InfeasibleProblemError(SolverError):
+    """A linear program was proven infeasible."""
+
+
+class UnboundedProblemError(SolverError):
+    """A linear program was proven unbounded."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed (wrong length, negative power, NaNs...)."""
+
+
+class HorizonMismatchError(TraceError):
+    """Traces and the simulation horizon disagree on the slot count."""

@@ -1,0 +1,74 @@
+"""Command-line figure regenerator.
+
+Usage::
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments fig6_v     # run one figure
+    python -m repro.experiments all        # run everything
+    python -m repro.experiments fig9 --seed 7 --days 14
+
+Each experiment prints the same series its benchmark writes to
+``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the SmartDPSS paper's figures.")
+    parser.add_argument(
+        "experiment", nargs="?", default=None,
+        help="experiment id (fig5, fig6_v, fig6_t, fig7, fig8, fig9, "
+             "fig10, ablations) or 'all'")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="root trace seed")
+    parser.add_argument("--days", type=int, default=None,
+                        help="horizon length in days")
+    return parser
+
+
+def list_experiments() -> str:
+    lines = ["available experiments:"]
+    for experiment in EXPERIMENTS.values():
+        lines.append(f"  {experiment.experiment_id:10s} "
+                     f"{experiment.description}")
+    lines.append("  all        run every experiment")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment is None:
+        print(list_experiments())
+        return 0
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.days is not None:
+        kwargs["days"] = args.days
+    targets = (list(EXPERIMENTS) if args.experiment == "all"
+               else [args.experiment])
+    for experiment_id in targets:
+        if experiment_id not in EXPERIMENTS:
+            print(f"unknown experiment {experiment_id!r}",
+                  file=sys.stderr)
+            print(list_experiments(), file=sys.stderr)
+            return 2
+        started = time.perf_counter()
+        print(run_experiment(experiment_id, **kwargs))
+        elapsed = time.perf_counter() - started
+        print(f"[{experiment_id} finished in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

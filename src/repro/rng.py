@@ -1,0 +1,70 @@
+"""Deterministic random-number management.
+
+Every stochastic component of the library (solar clouds, price spikes,
+demand bursts, observation noise) draws from an independent, named
+substream derived from a single root seed.  This gives two properties the
+experiment harness relies on:
+
+* **reproducibility** — the same root seed always produces bit-identical
+  traces, so paper figures regenerate exactly;
+* **independence under change** — adding draws to one component (say, the
+  solar model) does not perturb any other component's stream, because
+  substreams are derived by hashing the component name rather than by
+  sharing a sequential generator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Root seed used by the paper-preset traces when none is given.
+DEFAULT_SEED = 20130708  # ICDCS 2013 began July 8, 2013.
+
+
+def substream_seed(root_seed: int, name: str) -> int:
+    """Derive a stable 63-bit seed for a named substream.
+
+    The derivation hashes ``(root_seed, name)`` with SHA-256, so streams
+    for different names are statistically independent and insensitive to
+    the order in which components are constructed.
+    """
+    payload = f"{root_seed}:{name}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def make_rng(root_seed: int, name: str) -> np.random.Generator:
+    """Create an independent generator for the component ``name``."""
+    return np.random.default_rng(substream_seed(root_seed, name))
+
+
+class RngFactory:
+    """Factory handing out independent generators from one root seed.
+
+    >>> factory = RngFactory(seed=7)
+    >>> solar_rng = factory.stream("solar")
+    >>> price_rng = factory.stream("prices")
+
+    Requesting the same name twice returns a *fresh* generator seeded
+    identically, which is what trace builders want: re-generating a trace
+    yields the same data regardless of how many times it was generated
+    before.
+    """
+
+    def __init__(self, seed: int = DEFAULT_SEED):
+        if not isinstance(seed, (int, np.integer)):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self.seed = int(seed)
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return a generator for the named substream."""
+        return make_rng(self.seed, name)
+
+    def child(self, name: str) -> "RngFactory":
+        """Derive a nested factory (e.g. one per Monte-Carlo replica)."""
+        return RngFactory(substream_seed(self.seed, name))
+
+    def __repr__(self) -> str:
+        return f"RngFactory(seed={self.seed})"

@@ -1,0 +1,53 @@
+"""HiGHS backend (scipy ``linprog``) for :class:`~repro.solvers.linear_program.LpModel`.
+
+This is the production solver for the offline-optimal baseline's
+full-horizon LP (thousands of variables).  Failures raise typed
+exceptions (:class:`~repro.exceptions.InfeasibleProblemError`,
+:class:`~repro.exceptions.UnboundedProblemError`) so experiments fail
+loudly instead of propagating NaNs.
+"""
+
+from __future__ import annotations
+
+from scipy.optimize import linprog
+
+from repro.exceptions import (
+    InfeasibleProblemError,
+    SolverError,
+    UnboundedProblemError,
+)
+from repro.solvers.linear_program import LpModel, LpSolution
+
+#: scipy linprog status codes.
+_STATUS_OK = 0
+_STATUS_ITERATION_LIMIT = 1
+_STATUS_INFEASIBLE = 2
+_STATUS_UNBOUNDED = 3
+
+
+def solve_with_highs(model: LpModel, use_sparse: bool = True) -> LpSolution:
+    """Solve an :class:`LpModel` with scipy's HiGHS interface."""
+    args = model.compile(use_sparse=use_sparse)
+    result = linprog(
+        c=args["c"],
+        A_ub=args["A_ub"],
+        b_ub=args["b_ub"],
+        A_eq=args["A_eq"],
+        b_eq=args["b_eq"],
+        bounds=args["bounds"],
+        method="highs",
+    )
+    if result.status == _STATUS_INFEASIBLE:
+        raise InfeasibleProblemError(
+            f"{model.name}: LP infeasible ({result.message})",
+            status="infeasible")
+    if result.status == _STATUS_UNBOUNDED:
+        raise UnboundedProblemError(
+            f"{model.name}: LP unbounded ({result.message})",
+            status="unbounded")
+    if result.status != _STATUS_OK or result.x is None:
+        raise SolverError(
+            f"{model.name}: HiGHS failed ({result.message})",
+            status=str(result.status))
+    return LpSolution(objective=float(result.fun), x=result.x,
+                      status="optimal")

@@ -1,0 +1,105 @@
+"""Exact minimization of piecewise-linear objectives by vertex enumeration.
+
+The real-time subproblem P5 is *not* a plain LP: the battery operation
+indicator ``n(τ)·Cb`` introduces a jump, and charge/discharge/waste are
+hinge functions ``[·]⁺`` of the decisions.  But it has a special
+structure this module exploits:
+
+* the decision region is a box (``grt`` and ``γ`` each live in an
+  interval);
+* within the box, every hinge breakpoint is a *line of constant net
+  surplus* — all such lines are parallel (slope ``∂grt/∂γ = Q``);
+* the objective is linear on each cell of the induced subdivision.
+
+A function that is linear on every cell of a subdivision attains its
+minimum at a vertex of the subdivision; the jump term only adds the
+candidate "exactly zero battery activity", which lies *on* a breakpoint
+line.  Enumerating all (box corner) × (breakpoint line ∩ box edge)
+points and evaluating the exact objective is therefore optimal — no
+iterative solver, no tolerance tuning.
+
+:func:`piecewise_candidates_1d` handles the analogous one-dimensional
+case used by P4 and by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+
+def minimize_over_candidates(
+        objective: Callable[..., float],
+        candidates: Iterable[tuple],
+) -> tuple[float, tuple]:
+    """Evaluate ``objective`` at every candidate; return (best, argbest).
+
+    Ties break toward the earlier candidate, which callers exploit by
+    listing "do nothing" first so zero-cost ties stay inactive.
+    """
+    best_value = None
+    best_point = None
+    for point in candidates:
+        value = objective(*point)
+        if best_value is None or value < best_value - 1e-12:
+            best_value = value
+            best_point = point
+    if best_point is None:
+        raise ValueError("no candidates supplied")
+    return best_value, best_point
+
+
+def piecewise_candidates_1d(lower: float, upper: float,
+                            breakpoints: Sequence[float]) -> list[float]:
+    """Candidate points for a 1-D piecewise-linear minimization.
+
+    Returns the interval ends plus every breakpoint clipped into the
+    interval, deduplicated and sorted.  Evaluating a piecewise-linear
+    function at these points finds its exact minimum over
+    ``[lower, upper]``.
+    """
+    if lower > upper:
+        raise ValueError(f"empty interval [{lower}, {upper}]")
+    points = {lower, upper}
+    for bp in breakpoints:
+        if lower <= bp <= upper:
+            points.add(float(bp))
+    return sorted(points)
+
+
+def box_edge_candidates(grt_bounds: tuple[float, float],
+                        gamma_bounds: tuple[float, float],
+                        slope: float,
+                        intercepts: Sequence[float],
+                        ) -> list[tuple[float, float]]:
+    """Vertices for P5's parallel-line subdivision of a box.
+
+    The box is ``grt ∈ [g0, g1] × γ ∈ [c0, c1]``; each intercept ``q``
+    defines the line ``grt = slope·γ + q``.  Returns the four box
+    corners plus every intersection of a line with a box edge.
+
+    With ``slope = Q(t)`` these lines are exactly the loci where the
+    net surplus (and hence some hinge term of P5) changes regime, so
+    the returned set contains an optimizer of any function linear on
+    the subdivision cells.
+    """
+    g0, g1 = grt_bounds
+    c0, c1 = gamma_bounds
+    if g0 > g1 or c0 > c1:
+        raise ValueError(
+            f"empty box [{g0},{g1}] x [{c0},{c1}]")
+    candidates: list[tuple[float, float]] = [
+        (g0, c0), (g0, c1), (g1, c0), (g1, c1),
+    ]
+    for q in intercepts:
+        # Intersections with the horizontal edges γ = c0, γ = c1.
+        for gamma in (c0, c1):
+            grt = slope * gamma + q
+            if g0 - 1e-12 <= grt <= g1 + 1e-12:
+                candidates.append((min(max(grt, g0), g1), gamma))
+        # Intersections with the vertical edges grt = g0, grt = g1.
+        if abs(slope) > 1e-15:
+            for grt in (g0, g1):
+                gamma = (grt - q) / slope
+                if c0 - 1e-12 <= gamma <= c1 + 1e-12:
+                    candidates.append((grt, min(max(gamma, c0), c1)))
+    return candidates

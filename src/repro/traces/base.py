@@ -1,0 +1,234 @@
+"""Trace containers.
+
+A :class:`Trace` is a validated, immutable time series over fine-grained
+slots.  A :class:`TraceSet` bundles the five series every experiment
+needs — delay-sensitive demand, delay-tolerant demand, renewable
+production, real-time price and the hourly long-term forward curve — and
+derives per-coarse-slot long-term prices for any coarse length ``T``
+(which is how the Fig. 6(c,d) ``T``-sweep reuses one set of hourly
+traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import HorizonMismatchError, TraceError
+
+
+def _validated_array(name: str, values: object, *,
+                     lower: float | None = 0.0) -> np.ndarray:
+    """Convert to a read-only float array, checking finiteness/bounds."""
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise TraceError(f"{name} must be one-dimensional, got shape "
+                         f"{array.shape}")
+    if array.size == 0:
+        raise TraceError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(array)):
+        raise TraceError(f"{name} contains NaN or infinite values")
+    if lower is not None and np.any(array < lower):
+        worst = float(array.min())
+        raise TraceError(f"{name} must be >= {lower}, found {worst}")
+    array = array.copy()
+    array.setflags(write=False)
+    return array
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A single validated, immutable series (MWh per slot or $/MWh)."""
+
+    name: str
+    values: np.ndarray
+    units: str = "MWh"
+
+    def __init__(self, name: str, values: object, units: str = "MWh",
+                 lower: float | None = 0.0):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "values",
+                           _validated_array(name, values, lower=lower))
+        object.__setattr__(self, "units", units)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def __getitem__(self, slot: int) -> float:
+        return float(self.values[slot])
+
+    @property
+    def mean(self) -> float:
+        """Time-average of the series."""
+        return float(self.values.mean())
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the series."""
+        return float(self.values.std())
+
+    @property
+    def peak(self) -> float:
+        """Maximum value of the series."""
+        return float(self.values.max())
+
+    @property
+    def total(self) -> float:
+        """Sum over the horizon (total energy for MWh series)."""
+        return float(self.values.sum())
+
+    def summary(self) -> dict[str, float]:
+        """Small stats dictionary used by Fig. 5 reporting."""
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "min": float(self.values.min()),
+            "max": self.peak,
+            "total": self.total,
+        }
+
+
+@dataclass(frozen=True)
+class TraceSet:
+    """The full input bundle for one simulation horizon.
+
+    All five arrays share the same length ``n_slots`` (fine-grained
+    slots).  Series semantics:
+
+    demand_ds:
+        delay-sensitive demand ``dds(τ)`` in MWh per slot;
+    demand_dt:
+        delay-tolerant demand ``ddt(τ)`` in MWh per slot;
+    renewable:
+        on-site renewable production ``r(τ)`` in MWh per slot;
+    price_rt:
+        real-time market price ``prt(τ)`` in $/MWh;
+    price_lt_hourly:
+        hourly long-term-ahead *forward curve* in $/MWh; the market
+        price for a coarse slot of length ``T`` is its average over the
+        slot (:meth:`coarse_prices`).
+    """
+
+    demand_ds: np.ndarray
+    demand_dt: np.ndarray
+    renewable: np.ndarray
+    price_rt: np.ndarray
+    price_lt_hourly: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "demand_ds",
+                           _validated_array("demand_ds", self.demand_ds))
+        object.__setattr__(self, "demand_dt",
+                           _validated_array("demand_dt", self.demand_dt))
+        object.__setattr__(self, "renewable",
+                           _validated_array("renewable", self.renewable))
+        object.__setattr__(self, "price_rt",
+                           _validated_array("price_rt", self.price_rt))
+        object.__setattr__(
+            self, "price_lt_hourly",
+            _validated_array("price_lt_hourly", self.price_lt_hourly))
+        lengths = {
+            "demand_ds": self.demand_ds.size,
+            "demand_dt": self.demand_dt.size,
+            "renewable": self.renewable.size,
+            "price_rt": self.price_rt.size,
+            "price_lt_hourly": self.price_lt_hourly.size,
+        }
+        if len(set(lengths.values())) != 1:
+            raise HorizonMismatchError(
+                f"trace series have mismatched lengths: {lengths}")
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    @property
+    def n_slots(self) -> int:
+        """Number of fine-grained slots covered by the traces."""
+        return int(self.demand_ds.size)
+
+    def __len__(self) -> int:
+        return self.n_slots
+
+    # ------------------------------------------------------------------
+    # Derived series
+    # ------------------------------------------------------------------
+
+    @property
+    def demand_total(self) -> np.ndarray:
+        """Aggregate demand ``d(τ) = dds(τ) + ddt(τ)``."""
+        return self.demand_ds + self.demand_dt
+
+    def coarse_prices(self, fine_slots_per_coarse: int) -> np.ndarray:
+        """Long-term market price ``plt(k)`` for coarse slots of ``T``.
+
+        The hourly forward curve is averaged over each coarse window,
+        so one hourly trace serves every ``T`` in the Fig. 6(c,d)
+        sweep.  Requires the horizon to divide evenly.
+        """
+        t = int(fine_slots_per_coarse)
+        if t < 1:
+            raise ValueError(f"T must be >= 1, got {t}")
+        if self.n_slots % t != 0:
+            raise HorizonMismatchError(
+                f"{self.n_slots} slots do not divide into coarse slots "
+                f"of T={t}")
+        return self.price_lt_hourly.reshape(-1, t).mean(axis=1)
+
+    # ------------------------------------------------------------------
+    # Statistics used by experiments
+    # ------------------------------------------------------------------
+
+    @property
+    def renewable_penetration(self) -> float:
+        """Fraction of total demand coverable by renewables."""
+        total_demand = float(self.demand_total.sum())
+        if total_demand == 0:
+            return 0.0
+        return float(self.renewable.sum()) / total_demand
+
+    @property
+    def demand_std(self) -> float:
+        """Standard deviation of aggregate demand (paper Fig. 8 x-axis)."""
+        return float(self.demand_total.std())
+
+    def replace(self, **changes: object) -> "TraceSet":
+        """Copy with some series replaced (used by scaling transforms)."""
+        fields = {
+            "demand_ds": self.demand_ds,
+            "demand_dt": self.demand_dt,
+            "renewable": self.renewable,
+            "price_rt": self.price_rt,
+            "price_lt_hourly": self.price_lt_hourly,
+            "meta": dict(self.meta),
+        }
+        fields.update(changes)
+        return TraceSet(**fields)
+
+    def head(self, n_slots: int) -> "TraceSet":
+        """Truncate all series to the first ``n_slots`` slots."""
+        if not 1 <= n_slots <= self.n_slots:
+            raise ValueError(
+                f"n_slots must be in [1, {self.n_slots}], got {n_slots}")
+        return TraceSet(
+            demand_ds=self.demand_ds[:n_slots],
+            demand_dt=self.demand_dt[:n_slots],
+            renewable=self.renewable[:n_slots],
+            price_rt=self.price_rt[:n_slots],
+            price_lt_hourly=self.price_lt_hourly[:n_slots],
+            meta=dict(self.meta),
+        )
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-series stats (drives the Fig. 5 benchmark output)."""
+        return {
+            "demand_ds": Trace("demand_ds", self.demand_ds).summary(),
+            "demand_dt": Trace("demand_dt", self.demand_dt).summary(),
+            "demand_total": Trace("demand", self.demand_total).summary(),
+            "renewable": Trace("renewable", self.renewable).summary(),
+            "price_rt": Trace("price_rt", self.price_rt, "$/MWh").summary(),
+            "price_lt_hourly": Trace("price_lt", self.price_lt_hourly,
+                                     "$/MWh").summary(),
+        }

@@ -1,0 +1,88 @@
+"""Observation-noise injection (paper Fig. 9 robustness experiment).
+
+The paper tests SmartDPSS with "uniformly distributed ±50% errors" added
+to the demand, solar and price data the *controller* sees, while the
+physical system evolves on the true traces.  :func:`uniform_observation_noise`
+builds the perturbed :class:`~repro.traces.base.TraceSet`;
+:class:`NoisyTraceView` pairs true and observed traces so the simulation
+engine can feed each to the right consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.base import TraceSet
+
+
+def uniform_observation_noise(traces: TraceSet,
+                              rel_error: float,
+                              rng: np.random.Generator,
+                              price_cap: float | None = None) -> TraceSet:
+    """Perturb every series with independent uniform ±``rel_error`` noise.
+
+    Each observed value is ``true · U`` with
+    ``U ~ Uniform(1 − rel_error, 1 + rel_error)`` drawn independently
+    per slot and per series (the paper's ±50% corresponds to
+    ``rel_error = 0.5``).  Results are floored at zero; prices are
+    optionally clipped at the market cap so observations stay legal
+    inputs.
+    """
+    if not 0 <= rel_error < 1:
+        raise ValueError(
+            f"relative error must be in [0, 1), got {rel_error}")
+
+    def perturb(series: np.ndarray) -> np.ndarray:
+        factors = rng.uniform(1.0 - rel_error, 1.0 + rel_error,
+                              size=series.size)
+        return np.clip(series * factors, 0.0, None)
+
+    observed_rt = perturb(traces.price_rt)
+    observed_lt = perturb(traces.price_lt_hourly)
+    if price_cap is not None:
+        observed_rt = np.clip(observed_rt, 0.0, price_cap)
+        observed_lt = np.clip(observed_lt, 0.0, price_cap)
+    meta = dict(traces.meta)
+    meta["observation_rel_error"] = rel_error
+    return traces.replace(demand_ds=perturb(traces.demand_ds),
+                          demand_dt=perturb(traces.demand_dt),
+                          renewable=perturb(traces.renewable),
+                          price_rt=observed_rt,
+                          price_lt_hourly=observed_lt,
+                          meta=meta)
+
+
+@dataclass(frozen=True)
+class NoisyTraceView:
+    """A (true, observed) trace pair for robustness experiments.
+
+    The simulation engine drives physics from ``true`` and hands the
+    controller observations from ``observed``; with ``observed is
+    true`` this degenerates to the noiseless setting.
+    """
+
+    true: TraceSet
+    observed: TraceSet
+
+    def __post_init__(self) -> None:
+        if self.true.n_slots != self.observed.n_slots:
+            raise ValueError(
+                f"true ({self.true.n_slots} slots) and observed "
+                f"({self.observed.n_slots} slots) traces disagree")
+
+    @classmethod
+    def noiseless(cls, traces: TraceSet) -> "NoisyTraceView":
+        """View where the controller sees the exact truth."""
+        return cls(true=traces, observed=traces)
+
+    @classmethod
+    def with_uniform_noise(cls, traces: TraceSet, rel_error: float,
+                           rng: np.random.Generator,
+                           price_cap: float | None = None,
+                           ) -> "NoisyTraceView":
+        """View with the paper's uniform multiplicative error model."""
+        observed = uniform_observation_noise(traces, rel_error, rng,
+                                             price_cap=price_cap)
+        return cls(true=traces, observed=observed)

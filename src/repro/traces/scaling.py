@@ -1,0 +1,112 @@
+"""Trace transformations used by the paper's experiments.
+
+Four transforms reshape a base :class:`~repro.traces.base.TraceSet`:
+
+* :func:`clip_demand_peaks` — the paper "scale[s] the data to our
+  assumed datacenter by removing demand peaks above Pgrid"
+  (Section VI-A);
+* :func:`rescale_renewable_penetration` — sweeps the share of demand
+  coverable by renewables from 0 to 100% (Fig. 8);
+* :func:`reshape_demand_variation` — sweeps the demand standard
+  deviation at fixed mean (Fig. 8);
+* :func:`expand_system` — multiplies demand and renewables by ``β``
+  while batteries stay fixed (Fig. 10, Corollary 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.base import TraceSet
+
+
+def clip_demand_peaks(traces: TraceSet, p_grid: float) -> TraceSet:
+    """Proportionally clip slots whose total demand exceeds ``Pgrid``.
+
+    Where ``dds + ddt > Pgrid``, both components shrink by the same
+    factor so the workload mix is preserved; all other slots are
+    untouched.  This mirrors the paper's trace preprocessing and keeps
+    the availability guarantee achievable (the grid alone can always
+    carry the delay-sensitive load).
+    """
+    if p_grid <= 0:
+        raise ValueError(f"Pgrid must be > 0 to clip, got {p_grid}")
+    total = traces.demand_total
+    scale = np.ones_like(total)
+    over = total > p_grid
+    scale[over] = p_grid / total[over]
+    meta = dict(traces.meta)
+    meta["peak_clip_p_grid"] = p_grid
+    meta["peak_clip_slots"] = int(over.sum())
+    return traces.replace(demand_ds=traces.demand_ds * scale,
+                          demand_dt=traces.demand_dt * scale,
+                          meta=meta)
+
+
+def rescale_renewable_penetration(traces: TraceSet,
+                                  penetration: float) -> TraceSet:
+    """Scale renewables so total production covers the given demand share.
+
+    ``penetration`` is the paper's Fig. 8 x-axis: the percentage of the
+    total datacenter energy demand that the renewable plant could supply
+    over the horizon.  The *shape* of the renewable series (diurnal
+    cycle, intermittency) is preserved; only its magnitude changes.
+    """
+    if penetration < 0:
+        raise ValueError(
+            f"penetration must be >= 0, got {penetration}")
+    total_renewable = float(traces.renewable.sum())
+    total_demand = float(traces.demand_total.sum())
+    if penetration == 0 or total_renewable == 0:
+        factor = 0.0
+    else:
+        factor = penetration * total_demand / total_renewable
+    meta = dict(traces.meta)
+    meta["renewable_penetration"] = penetration
+    return traces.replace(renewable=traces.renewable * factor, meta=meta)
+
+
+def reshape_demand_variation(traces: TraceSet,
+                             variation_scale: float) -> TraceSet:
+    """Stretch demand fluctuations around the mean at fixed average.
+
+    Both demand components are transformed as
+    ``d' = mean + scale · (d − mean)`` and floored at zero, so the
+    horizon-average demand stays (nearly) constant while its standard
+    deviation scales with ``variation_scale`` — the paper's Fig. 8
+    "power demand variation" axis.  A scale of 1 is the identity.
+    """
+    if variation_scale < 0:
+        raise ValueError(
+            f"variation scale must be >= 0, got {variation_scale}")
+
+    def stretch(series: np.ndarray) -> np.ndarray:
+        mean = series.mean()
+        stretched = mean + variation_scale * (series - mean)
+        return np.clip(stretched, 0.0, None)
+
+    meta = dict(traces.meta)
+    meta["demand_variation_scale"] = variation_scale
+    return traces.replace(demand_ds=stretch(traces.demand_ds),
+                          demand_dt=stretch(traces.demand_dt),
+                          meta=meta)
+
+
+def expand_system(traces: TraceSet, beta: float) -> TraceSet:
+    """Expand demand and renewables by ``β`` (paper Fig. 10).
+
+    The paper's scaling model is ``d(β,t) = β·d(t), r(β,t) = β·r(t)``
+    with the UPS battery held fixed; prices are a property of the grid,
+    not of the datacenter, so they are untouched.  The caller is
+    responsible for scaling ``Pgrid`` (and the demand caps) in the
+    :class:`~repro.config.system.SystemConfig`, since those are system
+    parameters rather than traces.
+    """
+    if beta < 1:
+        raise ValueError(f"expansion factor must be >= 1, got {beta}")
+    meta = dict(traces.meta)
+    meta["expansion_beta"] = beta
+    return traces.replace(demand_ds=traces.demand_ds * beta,
+                          demand_dt=traces.demand_dt * beta,
+                          renewable=traces.renewable * beta,
+                          meta=meta)

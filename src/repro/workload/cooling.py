@@ -1,0 +1,127 @@
+"""Cooling overhead: the paper's first stated future-work item.
+
+"Incorporating cooling cost and power peaks management is part of our
+future work" (Section IV-C).  This module supplies the cooling half as
+a *trace transform*: datacenter cooling draw is modeled as IT load
+times a temperature-dependent overhead,
+
+    cooling(τ) = it_load(τ) · overhead(T_out(τ)),
+
+with the overhead rising in outdoor temperature the way chiller/
+economizer COP curves do (free cooling below a threshold, degrading
+efficiency above it).  Outdoor temperature itself is synthesized with
+a diurnal cycle, day-to-day weather drift and noise — January
+continental values by default, matching the trace window.
+
+Because SmartDPSS consumes only the aggregate ``dds(τ)`` series, the
+transform simply inflates delay-sensitive demand; every controller
+then faces the *hotter-afternoon-costs-more* coupling between load,
+temperature and (correlated) prices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.traces.base import TraceSet
+
+
+@dataclass(frozen=True)
+class CoolingModel:
+    """Outdoor-temperature and cooling-overhead parameters.
+
+    Attributes
+    ----------
+    mean_temp_c / diurnal_amplitude_c:
+        Daily temperature cycle (peak mid-afternoon).
+    weather_sigma_c / weather_rho:
+        Day-scale AR(1) weather drift.
+    free_cooling_below_c:
+        Economizer threshold: below it the overhead is only the
+        baseline fan draw.
+    base_overhead / overhead_per_degree:
+        Cooling power as a fraction of IT power: the baseline plus a
+        per-degree slope above the free-cooling threshold (a PUE of
+        1.1-1.5 over the range, consistent with published datacenter
+        numbers).
+    """
+
+    mean_temp_c: float = 2.0
+    diurnal_amplitude_c: float = 6.0
+    weather_sigma_c: float = 4.0
+    weather_rho: float = 0.9
+    free_cooling_below_c: float = 10.0
+    base_overhead: float = 0.08
+    overhead_per_degree: float = 0.015
+    slot_hours: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.diurnal_amplitude_c < 0:
+            raise ConfigurationError(
+                f"diurnal amplitude must be >= 0, got "
+                f"{self.diurnal_amplitude_c}")
+        if not 0 <= self.weather_rho < 1:
+            raise ConfigurationError(
+                f"weather_rho must be in [0, 1), got "
+                f"{self.weather_rho}")
+        if self.weather_sigma_c < 0:
+            raise ConfigurationError(
+                f"weather sigma must be >= 0, got "
+                f"{self.weather_sigma_c}")
+        if self.base_overhead < 0 or self.overhead_per_degree < 0:
+            raise ConfigurationError(
+                "cooling overheads must be >= 0")
+        if self.slot_hours <= 0:
+            raise ConfigurationError(
+                f"slot_hours must be > 0, got {self.slot_hours}")
+
+    def overhead(self, temperature_c: float) -> float:
+        """Cooling power as a fraction of IT power at a temperature."""
+        excess = max(0.0, temperature_c - self.free_cooling_below_c)
+        return self.base_overhead + self.overhead_per_degree * excess
+
+
+def sample_temperature(model: CoolingModel, n_slots: int,
+                       rng: np.random.Generator) -> np.ndarray:
+    """Synthesize the outdoor temperature series (°C)."""
+    if n_slots < 1:
+        raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+    temps = np.empty(n_slots)
+    weather = 0.0
+    scale = model.weather_sigma_c * math.sqrt(
+        1.0 - model.weather_rho ** 2)
+    for slot in range(n_slots):
+        hour = (slot * model.slot_hours) % 24.0
+        diurnal = model.diurnal_amplitude_c * math.sin(
+            2.0 * math.pi * (hour - 9.0) / 24.0)
+        if slot % max(1, int(24 / model.slot_hours)) == 0:
+            weather = (model.weather_rho * weather
+                       + scale * rng.standard_normal())
+        temps[slot] = model.mean_temp_c + diurnal + weather
+    return temps
+
+
+def apply_cooling_overhead(traces: TraceSet,
+                           rng: np.random.Generator,
+                           model: CoolingModel | None = None,
+                           ) -> tuple[TraceSet, np.ndarray]:
+    """Inflate delay-sensitive demand with the cooling draw.
+
+    Returns the transformed traces and the temperature series used
+    (for reporting).  Total demand may exceed the original peaks;
+    callers deciding to keep ``Pgrid`` feasibility should re-clip with
+    :func:`repro.traces.scaling.clip_demand_peaks`.
+    """
+    cooling_model = model or CoolingModel()
+    temps = sample_temperature(cooling_model, traces.n_slots, rng)
+    overheads = np.array([cooling_model.overhead(t) for t in temps])
+    it_load = traces.demand_ds + traces.demand_dt
+    cooling = it_load * overheads
+    meta = dict(traces.meta)
+    meta["cooling_mean_overhead"] = float(overheads.mean())
+    return traces.replace(
+        demand_ds=traces.demand_ds + cooling, meta=meta), temps

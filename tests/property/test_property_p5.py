@@ -1,0 +1,106 @@
+"""Property-based tests: P5 exactness and safety.
+
+The vertex enumeration claims *exact* optimality over the candidate
+box; hypothesis probes it against random interior points for both
+objective variants, and checks the returned action never violates a
+constraint.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.config.control import ObjectiveMode
+from repro.core.modes import SlotState, objective_for, resolve_physics
+from repro.core.p5 import solve_p5
+
+slot_states = st.builds(
+    SlotState,
+    q_hat=st.floats(min_value=0.0, max_value=20.0),
+    y_hat=st.floats(min_value=0.0, max_value=20.0),
+    x_hat=st.floats(min_value=-10.0, max_value=3.0),
+    v=st.floats(min_value=0.05, max_value=5.0),
+    price_rt=st.floats(min_value=0.5, max_value=20.0),
+    battery_op_cost=st.floats(min_value=0.0, max_value=0.05),
+    waste_penalty=st.floats(min_value=0.0, max_value=0.5),
+    backlog=st.floats(min_value=0.0, max_value=10.0),
+    gbef_rate=st.floats(min_value=0.0, max_value=2.0),
+    renewable=st.floats(min_value=0.0, max_value=2.0),
+    demand_ds=st.floats(min_value=0.0, max_value=2.0),
+    charge_cap=st.floats(min_value=0.0, max_value=0.6),
+    discharge_cap=st.floats(min_value=0.0, max_value=0.6),
+    eta_c=st.floats(min_value=0.5, max_value=1.0),
+    eta_d=st.floats(min_value=1.0, max_value=1.6),
+    s_dt_max=st.floats(min_value=0.1, max_value=3.0),
+    grt_cap=st.floats(min_value=0.0, max_value=2.5),
+    battery_margin=st.floats(min_value=0.0, max_value=0.5),
+)
+
+unit_points = st.tuples(st.floats(min_value=0.0, max_value=1.0),
+                        st.floats(min_value=0.0, max_value=1.0))
+
+
+@settings(max_examples=200, deadline=None)
+@given(state=slot_states, probes=st.lists(unit_points, min_size=5,
+                                          max_size=15),
+       mode=st.sampled_from([ObjectiveMode.DERIVED,
+                             ObjectiveMode.PAPER]))
+def test_no_random_point_beats_solution(state, probes, mode):
+    solution = solve_p5(state, mode)
+    if not solution.feasible:
+        return
+    objective = objective_for(mode)
+    gamma_hi = 1.0
+    if state.backlog > 0:
+        gamma_hi = min(1.0, state.s_dt_max / state.backlog)
+    for u, v in probes:
+        grt = u * state.grt_cap
+        gamma = v * gamma_hi
+        physics = resolve_physics(state, grt, gamma)
+        value = objective(state, grt, gamma, physics)
+        assert solution.objective <= value + 1e-7
+
+
+@settings(max_examples=200, deadline=None)
+@given(state=slot_states,
+       mode=st.sampled_from([ObjectiveMode.DERIVED,
+                             ObjectiveMode.PAPER]))
+def test_solution_within_bounds(state, mode):
+    solution = solve_p5(state, mode)
+    assert 0.0 <= solution.gamma <= 1.0
+    assert -1e-12 <= solution.grt <= state.grt_cap + 1e-9
+    physics = solution.physics
+    assert physics.sdt <= state.s_dt_max + 1e-9
+    assert physics.charge <= state.charge_cap + 1e-9
+    assert physics.discharge <= state.discharge_cap + 1e-9
+    assert physics.charge == 0.0 or physics.discharge == 0.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(state=slot_states)
+def test_feasible_solutions_serve_ds(state):
+    solution = solve_p5(state, ObjectiveMode.DERIVED)
+    if solution.feasible:
+        assert solution.physics.unserved <= 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(state=slot_states)
+def test_infeasible_only_when_truly_impossible(state):
+    solution = solve_p5(state, ObjectiveMode.DERIVED)
+    max_supply = (state.gbef_rate + state.grt_cap + state.renewable
+                  + state.discharge_cap)
+    if solution.feasible:
+        return
+    # Infeasible flag implies even maximum effort cannot serve dds.
+    assert max_supply < state.demand_ds + 1e-6
+
+
+@settings(max_examples=100, deadline=None)
+@given(state=slot_states)
+def test_idempotent(state):
+    a = solve_p5(state, ObjectiveMode.DERIVED)
+    b = solve_p5(state, ObjectiveMode.DERIVED)
+    assert a.grt == b.grt
+    assert a.gamma == b.gamma
+    assert a.objective == pytest.approx(b.objective)

@@ -1,0 +1,90 @@
+"""Property-based tests: trace generators stay physical for any params."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.rng import make_rng
+from repro.traces.demand import DemandModel, GoogleClusterDemandGenerator
+from repro.traces.prices import NyisoLikePriceGenerator, PriceModel
+from repro.traces.scaling import (
+    clip_demand_peaks,
+    rescale_renewable_penetration,
+    reshape_demand_variation,
+)
+from repro.traces.solar import MidcLikeSolarGenerator, SolarModel
+from tests.conftest import constant_traces
+
+seeds = st.integers(min_value=0, max_value=2 ** 31)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds,
+       capacity=st.floats(min_value=0.0, max_value=10.0),
+       persistence=st.floats(min_value=0.05, max_value=0.95),
+       sigma=st.floats(min_value=0.0, max_value=0.5))
+def test_solar_always_physical(seed, capacity, persistence, sigma):
+    model = SolarModel(capacity_mw=capacity,
+                       cloud_persistence=persistence,
+                       noise_sigma=sigma)
+    series = MidcLikeSolarGenerator(model).generate(
+        96, make_rng(seed, "solar"))
+    assert np.all(series >= 0.0)
+    assert np.all(series <= capacity + 1e-12)
+    assert np.all(np.isfinite(series))
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds,
+       mean_price=st.floats(min_value=10.0, max_value=120.0),
+       spike=st.floats(min_value=0.0, max_value=0.2),
+       discount=st.floats(min_value=0.5, max_value=1.0))
+def test_prices_always_within_caps(seed, mean_price, spike, discount):
+    model = PriceModel(mean_price=mean_price, spike_probability=spike,
+                       forward_discount=discount)
+    rt, forward = NyisoLikePriceGenerator(model).generate(
+        96, make_rng(seed, "prices"))
+    for series in (rt, forward):
+        assert np.all(series >= model.price_floor - 1e-12)
+        assert np.all(series <= model.price_cap + 1e-12)
+        assert np.all(np.isfinite(series))
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds,
+       rate=st.floats(min_value=0.0, max_value=20.0),
+       cap=st.floats(min_value=0.1, max_value=3.0))
+def test_demand_respects_caps(seed, rate, cap):
+    model = DemandModel(batch_jobs_per_hour=rate, d_dt_max=cap)
+    ds, dt = GoogleClusterDemandGenerator(model).generate(
+        96, make_rng(seed, "demand"))
+    assert np.all(ds >= 0.0)
+    assert np.all(dt >= 0.0)
+    assert np.all(dt <= cap + 1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds,
+       penetration=st.floats(min_value=0.0, max_value=3.0),
+       variation=st.floats(min_value=0.0, max_value=3.0),
+       p_grid=st.floats(min_value=0.5, max_value=3.0))
+def test_scaling_transforms_compose(seed, penetration, variation,
+                                    p_grid):
+    rng = np.random.default_rng(seed)
+    base = constant_traces(48).replace(
+        demand_ds=rng.uniform(0.2, 2.5, 48),
+        demand_dt=rng.uniform(0.0, 1.0, 48),
+        renewable=rng.uniform(0.0, 1.0, 48))
+    traces = clip_demand_peaks(
+        reshape_demand_variation(
+            rescale_renewable_penetration(base, penetration),
+            variation),
+        p_grid)
+    assert np.all(traces.demand_total <= p_grid + 1e-9)
+    assert np.all(traces.demand_ds >= 0.0)
+    assert np.all(traces.demand_dt >= 0.0)
+    assert np.all(traces.renewable >= 0.0)
+    if penetration > 0 and base.renewable.sum() > 0:
+        # Renewable scaling is untouched by later demand transforms'
+        # shape, only its ratio to (reshaped) demand changes.
+        assert traces.renewable.sum() > 0

@@ -1,0 +1,46 @@
+"""Counterfactual savings decomposition."""
+
+import pytest
+
+from repro.analysis.decomposition import decompose_savings
+from repro.config.presets import paper_controller_config, paper_system_config
+from repro.traces.library import make_paper_traces
+
+
+@pytest.fixture(scope="module")
+def decomposition():
+    system = paper_system_config()
+    traces = make_paper_traces(system, seed=88)
+    return decompose_savings(system, traces,
+                             paper_controller_config())
+
+
+class TestDecomposition:
+    def test_ladder_sums_exactly(self, decomposition):
+        d = decomposition
+        assert d.deferral + d.storage == pytest.approx(
+            d.total_saving, abs=1e-9)
+
+    def test_total_saving_positive(self, decomposition):
+        assert decomposition.total_saving > 0.0
+
+    def test_deferral_is_the_dominant_mechanism(self, decomposition):
+        # With a 15-minute battery, demand management dominates
+        # storage (the battery holds 0.5 MWh against a ~40 MWh/day
+        # bill).
+        assert decomposition.deferral > decomposition.storage
+
+    def test_markets_value_positive(self, decomposition):
+        # The cheaper long-term market is worth real money to a
+        # price-aware policy (Fig. 7 "TM vs RTM").
+        assert decomposition.markets_value > 0.0
+
+    def test_rows_structure(self, decomposition):
+        rows = decomposition.as_rows()
+        assert len(rows) == 4
+        labels = [label for label, _ in rows]
+        assert labels[2] == "total vs Impatient"
+
+    def test_costs_ordered(self, decomposition):
+        assert decomposition.full_cost \
+            < decomposition.impatient_cost

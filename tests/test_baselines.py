@@ -1,0 +1,156 @@
+"""Baseline controllers: Impatient, OfflineOptimal, Myopic."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.impatient import ImpatientController
+from repro.baselines.myopic import MyopicPriceThreshold, _RunningQuantile
+from repro.baselines.offline import OfflineOptimal, solve_offline_plan
+from repro.sim.engine import Simulator
+from tests.conftest import constant_traces
+
+
+class TestImpatient:
+    def test_serves_immediately(self, small_system, small_traces):
+        result = Simulator(small_system, ImpatientController(),
+                           small_traces).run()
+        # Arrive at t, served at t+1: the minimum possible delay.
+        assert result.average_delay_slots == pytest.approx(1.0,
+                                                           abs=0.3)
+        assert result.availability == 1.0
+
+    def test_gamma_always_one(self, small_system, small_traces):
+        result = Simulator(small_system, ImpatientController(),
+                           small_traces).run()
+        assert np.all(result.series["gamma"] == 1.0)
+
+    def test_backlog_stays_tiny(self, small_system, small_traces):
+        result = Simulator(small_system, ImpatientController(),
+                           small_traces).run()
+        assert result.peak_backlog <= small_system.d_dt_max + 1e-9
+
+    def test_ds_only_planning_variant(self, small_system,
+                                      small_traces):
+        total = Simulator(small_system, ImpatientController(),
+                          small_traces).run()
+        ds_only = Simulator(
+            small_system,
+            ImpatientController(plan_for_total_demand=False),
+            small_traces).run()
+        assert (ds_only.series["gbef_rate"].sum()
+                < total.series["gbef_rate"].sum())
+
+
+class TestOfflinePlan:
+    def test_plan_respects_caps(self, small_system, small_traces):
+        plan = solve_offline_plan(small_system, small_traces)
+        t = small_system.fine_slots_per_coarse
+        assert np.all(plan.gbef >= -1e-9)
+        assert np.all(plan.gbef / t <= small_system.p_grid + 1e-9)
+        assert np.all(plan.charge <= small_system.b_charge_max + 1e-9)
+        assert np.all(plan.discharge
+                      <= small_system.b_discharge_max + 1e-9)
+        assert np.all(plan.battery >= small_system.b_min - 1e-9)
+        assert np.all(plan.battery <= small_system.b_max + 1e-9)
+
+    def test_queue_dynamics_consistent(self, small_system,
+                                       small_traces):
+        plan = solve_offline_plan(small_system, small_traces)
+        n = small_system.horizon_slots
+        q = 0.0
+        for i in range(n):
+            assert plan.sdt[i] <= q + 1e-6
+            q = q - plan.sdt[i] + float(small_traces.demand_dt[i])
+            assert plan.backlog[i + 1] == pytest.approx(q, abs=1e-6)
+
+    def test_deadline_enforced(self, small_system, small_traces):
+        deadline = 12
+        plan = solve_offline_plan(small_system, small_traces,
+                                  deadline_slots=deadline)
+        arrivals = np.concatenate(
+            [[0.0], np.cumsum(small_traces.demand_dt)])
+        served = np.concatenate([[0.0], np.cumsum(plan.sdt)])
+        for i in range(deadline, small_system.horizon_slots):
+            assert served[i + 1] >= arrivals[i + 1 - deadline] - 1e-6
+
+    def test_no_real_time_option(self, small_system, small_traces):
+        plan = solve_offline_plan(small_system, small_traces,
+                                  include_real_time=False)
+        assert plan.rt_energy == pytest.approx(0.0, abs=1e-9)
+
+    def test_tighter_deadline_costs_more(self, small_system,
+                                         small_traces):
+        loose = solve_offline_plan(small_system, small_traces,
+                                   deadline_slots=48)
+        tight = solve_offline_plan(small_system, small_traces,
+                                   deadline_slots=6)
+        assert tight.lp_objective >= loose.lp_objective - 1e-6
+
+    def test_cycle_proxy_discourages_churn(self, small_system,
+                                           small_traces):
+        free = solve_offline_plan(small_system, small_traces)
+        taxed = solve_offline_plan(small_system, small_traces,
+                                   cycle_proxy_cost=5.0)
+        assert (taxed.charge.sum() + taxed.discharge.sum()
+                <= free.charge.sum() + free.discharge.sum() + 1e-6)
+
+
+class TestOfflineReplay:
+    def test_replay_close_to_lp_objective(self, small_system,
+                                          small_traces):
+        controller = OfflineOptimal(small_traces)
+        result = Simulator(small_system, controller,
+                           small_traces).run()
+        lp = controller.plan.lp_objective
+        # Engine adds the battery op cost the LP relaxes; physics
+        # clamps can only reduce waste.  Stay within a few percent.
+        assert result.total_cost == pytest.approx(lp, rel=0.05)
+
+    def test_replay_availability(self, small_system, small_traces):
+        result = Simulator(small_system, OfflineOptimal(small_traces),
+                           small_traces).run()
+        assert result.availability == 1.0
+
+
+class TestRunningQuantile:
+    def test_exact_on_known_data(self):
+        quantile = _RunningQuantile(0.5)
+        for value in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            quantile.observe(value)
+        assert quantile.value == 3.0
+
+    def test_history_bounded(self):
+        quantile = _RunningQuantile(0.5, max_history=3)
+        for value in [10.0, 20.0, 30.0, 1.0, 2.0, 3.0]:
+            quantile.observe(value)
+        assert quantile.value == 2.0
+
+    def test_empty_is_infinite(self):
+        assert _RunningQuantile(0.3).value == float("inf")
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            _RunningQuantile(0.0)
+
+
+class TestMyopic:
+    def test_runs_and_serves_eventually(self, week_system,
+                                        week_traces):
+        controller = MyopicPriceThreshold(max_wait_slots=24)
+        result = Simulator(week_system, controller, week_traces).run()
+        assert result.availability == 1.0
+        # The overdue rule bounds waiting.
+        assert result.worst_delay_slots <= 24 + 24
+
+    def test_cheaper_than_impatient_on_average(self, paper_system):
+        from repro.traces.library import make_paper_traces
+        reductions = []
+        for seed in (1, 2, 3):
+            traces = make_paper_traces(paper_system, seed=seed)
+            myopic = Simulator(paper_system, MyopicPriceThreshold(),
+                               traces).run()
+            impatient = Simulator(paper_system, ImpatientController(),
+                                  traces).run()
+            reductions.append(impatient.time_average_cost
+                              - myopic.time_average_cost)
+        assert np.mean(reductions) > 0.0

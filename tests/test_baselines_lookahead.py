@@ -1,0 +1,90 @@
+"""T-step lookahead MPC and the paper's P2 offline construction."""
+
+import pytest
+
+from repro.baselines.impatient import ImpatientController
+from repro.baselines.lookahead import LookaheadController, PaperP2Offline
+from repro.baselines.offline import OfflineOptimal
+from repro.config.presets import paper_controller_config
+from repro.core.smartdpss import SmartDPSS
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture(scope="module")
+def week():
+    from repro.config.presets import paper_system_config
+    from repro.traces.library import make_paper_traces
+    system = paper_system_config(days=7)
+    traces = make_paper_traces(system, seed=321)
+    return system, traces
+
+
+def run(system, traces, controller):
+    return Simulator(system, controller, traces).run()
+
+
+class TestLookahead:
+    def test_runs_and_serves(self, week):
+        system, traces = week
+        result = run(system, traces, LookaheadController(traces))
+        assert result.availability == 1.0
+        assert result.n_slots == system.horizon_slots
+
+    def test_oracle_beats_forecast_free_online(self, week):
+        system, traces = week
+        mpc = run(system, traces, LookaheadController(traces))
+        smart = run(system, traces,
+                    SmartDPSS(paper_controller_config()))
+        assert mpc.time_average_cost < smart.time_average_cost
+
+    def test_oracle_never_beats_full_offline(self, week):
+        system, traces = week
+        mpc = run(system, traces, LookaheadController(traces))
+        offline = run(system, traces, OfflineOptimal(traces))
+        assert offline.time_average_cost \
+            <= mpc.time_average_cost + 1e-9
+
+    def test_beats_impatient(self, week):
+        system, traces = week
+        mpc = run(system, traces, LookaheadController(traces))
+        impatient = run(system, traces, ImpatientController())
+        assert mpc.time_average_cost < impatient.time_average_cost
+
+    def test_backlog_penalty_limits_delay(self, week):
+        system, traces = week
+        result = run(system, traces, LookaheadController(traces))
+        # Penalized terminal backlog keeps deferral within ~2 windows.
+        assert result.worst_delay_slots \
+            <= 2 * system.fine_slots_per_coarse + 1
+
+    def test_name(self, week):
+        _, traces = week
+        assert LookaheadController(traces).name == "Lookahead-MPC"
+
+
+class TestPaperP2:
+    def test_serves_almost_immediately(self, week):
+        system, traces = week
+        result = run(system, traces, PaperP2Offline(traces))
+        # P2 has no strategic deferral: near-minimal delays.
+        assert result.average_delay_slots < 5.0
+
+    def test_sits_between_impatient_and_offline(self, week):
+        system, traces = week
+        p2 = run(system, traces, PaperP2Offline(traces))
+        impatient = run(system, traces, ImpatientController())
+        offline = run(system, traces, OfflineOptimal(traces))
+        assert offline.time_average_cost <= p2.time_average_cost
+        assert p2.time_average_cost < impatient.time_average_cost
+
+    def test_weaker_than_joint_offline(self, week):
+        # The paper's per-window benchmark leaves money on the table
+        # relative to the full-horizon LP (DESIGN.md §3).
+        system, traces = week
+        p2 = run(system, traces, PaperP2Offline(traces))
+        offline = run(system, traces, OfflineOptimal(traces))
+        assert p2.time_average_cost >= offline.time_average_cost
+
+    def test_name(self, week):
+        _, traces = week
+        assert PaperP2Offline(traces).name == "PaperP2-Offline"

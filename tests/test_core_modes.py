@@ -1,0 +1,129 @@
+"""Slot physics resolution and the two P5 objectives."""
+
+import math
+
+import pytest
+
+from repro.config.control import ObjectiveMode
+from repro.core.modes import (
+    SlotState,
+    objective_derived,
+    objective_for,
+    objective_paper,
+    resolve_physics,
+)
+
+
+def make_state(**overrides) -> SlotState:
+    defaults = dict(
+        q_hat=2.0, y_hat=1.0, x_hat=-3.0,
+        v=1.0, price_rt=5.0, battery_op_cost=0.01, waste_penalty=0.1,
+        backlog=2.0, gbef_rate=1.0, renewable=0.2, demand_ds=1.0,
+        charge_cap=0.4, discharge_cap=0.3, eta_c=0.8, eta_d=1.25,
+        s_dt_max=2.0, grt_cap=1.0, battery_margin=0.0,
+    )
+    defaults.update(overrides)
+    return SlotState(**defaults)
+
+
+class TestResolvePhysics:
+    def test_balanced_slot(self):
+        # supply = 1.0 + 0 + 0.2 = 1.2; demand = 1.0 + 0.1·2 = 1.2.
+        physics = resolve_physics(make_state(), grt=0.0, gamma=0.1)
+        assert physics.sdt == pytest.approx(0.2)
+        assert physics.charge == 0.0
+        assert physics.discharge == 0.0
+        assert physics.waste == 0.0
+        assert physics.unserved == 0.0
+
+    def test_surplus_charges_then_wastes(self):
+        physics = resolve_physics(make_state(), grt=1.0, gamma=0.0)
+        # net = 2.2 - 1.0 = 1.2; charge 0.4, waste 0.8.
+        assert physics.charge == pytest.approx(0.4)
+        assert physics.waste == pytest.approx(0.8)
+        assert physics.battery_active
+
+    def test_deficit_discharges_then_unserved(self):
+        state = make_state(demand_ds=2.0, gbef_rate=0.0,
+                           renewable=0.0)
+        physics = resolve_physics(state, grt=1.0, gamma=0.0)
+        # net = 1.0 - 2.0 = -1.0; discharge 0.3, unserved 0.7.
+        assert physics.discharge == pytest.approx(0.3)
+        assert physics.unserved == pytest.approx(0.7)
+
+    def test_sdt_capped_by_sdtmax(self):
+        state = make_state(backlog=10.0, s_dt_max=2.0)
+        physics = resolve_physics(state, grt=0.0, gamma=1.0)
+        assert physics.sdt == pytest.approx(2.0)
+
+    def test_charge_discharge_exclusive(self):
+        for grt in (0.0, 0.5, 1.0):
+            for gamma in (0.0, 0.5, 1.0):
+                physics = resolve_physics(make_state(), grt, gamma)
+                assert physics.charge == 0.0 or physics.discharge == 0.0
+
+
+class TestObjectiveDerived:
+    def test_infeasible_is_infinite(self):
+        state = make_state(demand_ds=5.0, gbef_rate=0.0,
+                           renewable=0.0, discharge_cap=0.0)
+        physics = resolve_physics(state, 0.0, 0.0)
+        assert math.isinf(objective_derived(state, 0.0, 0.0, physics))
+
+    def test_purchase_priced_at_v_p(self):
+        state = make_state(q_hat=0.0, y_hat=0.0, x_hat=0.0,
+                           charge_cap=0.0, waste_penalty=0.0)
+        physics = resolve_physics(state, 0.5, 0.0)
+        value = objective_derived(state, 0.5, 0.0, physics)
+        # grt of 0.5 at V·p = 5 plus nothing else (waste free here).
+        assert value == pytest.approx(0.5 * 5.0)
+
+    def test_service_earns_queue_drift(self):
+        state = make_state(charge_cap=0.0, waste_penalty=0.0)
+        idle = resolve_physics(state, 0.0, 0.0)
+        serving = resolve_physics(state, 0.0, 0.1)
+        gain = (objective_derived(state, 0.0, 0.1, serving)
+                - objective_derived(state, 0.0, 0.0, idle))
+        # Serving 0.2 MWh earns -(Q+Y)·0.2 = -0.6 (no battery here).
+        assert gain == pytest.approx(-(2.0 + 1.0) * 0.2)
+
+    def test_battery_margin_penalizes_trades(self):
+        state_free = make_state(battery_margin=0.0)
+        state_margin = make_state(battery_margin=0.5)
+        physics = resolve_physics(state_free, 1.0, 0.0)  # charges 0.4
+        free = objective_derived(state_free, 1.0, 0.0, physics)
+        priced = objective_derived(state_margin, 1.0, 0.0, physics)
+        assert priced - free == pytest.approx(0.5 * 0.4)
+
+    def test_op_cost_applied_when_active(self):
+        state = make_state(battery_op_cost=0.02)
+        active = resolve_physics(state, 1.0, 0.0)
+        assert active.battery_active
+        with_cost = objective_derived(state, 1.0, 0.0, active)
+        zero_cost_state = make_state(battery_op_cost=0.0)
+        without = objective_derived(zero_cost_state, 1.0, 0.0, active)
+        assert with_cost - without == pytest.approx(0.02)
+
+
+class TestObjectivePaper:
+    def test_published_terms(self):
+        state = make_state(charge_cap=0.0, waste_penalty=0.0)
+        physics = resolve_physics(state, 0.5, 0.1)
+        value = objective_paper(state, 0.5, 0.1, physics)
+        expected = (0.5 * (1.0 * 5.0 - 2.0 - 1.0)          # grt term
+                    + 0.1 * (2.0 ** 2 - 2.0 * 1.0)          # γ term
+                    + (2.0 + (-3.0) + 1.0)
+                    * (physics.charge - physics.discharge))
+        assert value == pytest.approx(expected)
+
+    def test_infeasible_is_infinite(self):
+        state = make_state(demand_ds=5.0, gbef_rate=0.0,
+                           renewable=0.0, discharge_cap=0.0)
+        physics = resolve_physics(state, 0.0, 0.0)
+        assert math.isinf(objective_paper(state, 0.0, 0.0, physics))
+
+
+class TestObjectiveFor:
+    def test_dispatch(self):
+        assert objective_for(ObjectiveMode.PAPER) is objective_paper
+        assert objective_for(ObjectiveMode.DERIVED) is objective_derived

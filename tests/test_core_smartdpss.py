@@ -1,0 +1,157 @@
+"""SmartDPSS controller unit behaviour (Algorithm 1 wiring)."""
+
+import pytest
+
+from repro.config.control import SmartDPSSConfig
+from repro.config.presets import paper_controller_config, paper_system_config
+from repro.core.interfaces import CoarseObservation, FineObservation
+from repro.core.smartdpss import SmartDPSS
+
+
+def coarse_obs(**overrides) -> CoarseObservation:
+    defaults = dict(
+        coarse_index=0, fine_slot=0, price_lt=40.0, demand_ds=1.0,
+        demand_dt=0.5, renewable=0.2, battery_level=0.5, backlog=0.0,
+        cycle_budget_left=None,
+        profile_demand_ds=tuple(1.0 for _ in range(24)),
+        profile_demand_dt=tuple(0.5 for _ in range(24)),
+        profile_renewable=tuple(0.2 for _ in range(24)),
+        profile_price_rt=tuple(50.0 for _ in range(24)),
+    )
+    defaults.update(overrides)
+    return CoarseObservation(**defaults)
+
+
+def fine_obs(**overrides) -> FineObservation:
+    defaults = dict(
+        fine_slot=0, coarse_index=0, price_rt=50.0, demand_ds=1.0,
+        demand_dt=0.5, renewable=0.2, battery_level=0.5, backlog=0.3,
+        long_term_rate=1.0, grid_headroom=1.0, supply_headroom=3.0,
+        cycle_budget_left=None,
+    )
+    defaults.update(overrides)
+    return FineObservation(**defaults)
+
+
+@pytest.fixture
+def controller():
+    ctrl = SmartDPSS(paper_controller_config())
+    ctrl.begin_horizon(paper_system_config())
+    return ctrl
+
+
+class TestLifecycle:
+    def test_requires_begin_horizon(self):
+        ctrl = SmartDPSS()
+        with pytest.raises(AssertionError):
+            ctrl.plan_long_term(coarse_obs())
+
+    def test_begin_horizon_resets_state(self, controller):
+        controller.plan_long_term(coarse_obs())
+        controller.end_slot_state = None
+        controller.begin_horizon(paper_system_config())
+        assert controller.delay_queue.value == 0.0
+        assert controller.frozen_weights == (0.0, 0.0, 0.0)
+
+    def test_name_mentions_v_and_mode(self):
+        ctrl = SmartDPSS(SmartDPSSConfig(v=2.5))
+        assert "2.5" in ctrl.name
+        assert "derived" in ctrl.name
+
+
+class TestPlanning:
+    def test_plan_within_grid_limits(self, controller):
+        gbef = controller.plan_long_term(coarse_obs())
+        system = paper_system_config()
+        assert 0.0 <= gbef <= system.p_grid * 24
+
+    def test_plan_freezes_weights(self, controller):
+        controller.plan_long_term(coarse_obs(backlog=3.0))
+        q_hat, y_hat, x_hat = controller.frozen_weights
+        assert q_hat == 3.0
+        assert y_hat == 0.0
+        assert x_hat == controller.battery_queue.value
+
+    def test_rtm_only_never_buys_ahead(self):
+        ctrl = SmartDPSS(
+            paper_controller_config(use_long_term_market=False))
+        ctrl.begin_horizon(paper_system_config())
+        assert ctrl.plan_long_term(coarse_obs()) == 0.0
+
+    def test_exhausted_cycle_budget_ignores_battery(self):
+        ctrl = SmartDPSS(paper_controller_config())
+        ctrl.begin_horizon(paper_system_config())
+        # With budget left, plans may lean on the battery; with zero
+        # budget the feasibility floor must not.
+        ctrl.plan_long_term(coarse_obs(cycle_budget_left=0))
+        decision = ctrl.real_time(fine_obs(cycle_budget_left=0,
+                                           price_rt=20.0))
+        # No battery available: decision can only buy or serve.
+        assert decision.grt >= 0.0
+
+
+class TestRealTime:
+    def test_decision_within_bounds(self, controller):
+        controller.plan_long_term(coarse_obs())
+        decision = controller.real_time(fine_obs())
+        assert decision.grt >= 0.0
+        assert 0.0 <= decision.gamma <= 1.0
+
+    def test_grt_respects_headroom(self, controller):
+        controller.plan_long_term(coarse_obs())
+        decision = controller.real_time(
+            fine_obs(grid_headroom=0.25, demand_ds=2.0,
+                     long_term_rate=0.0, renewable=0.0))
+        assert decision.grt <= 0.25 + 1e-12
+
+    def test_use_battery_false_plans_without_battery(self):
+        ctrl = SmartDPSS(paper_controller_config(use_battery=False))
+        ctrl.begin_horizon(paper_system_config())
+        ctrl.plan_long_term(coarse_obs())
+        decision = ctrl.real_time(fine_obs(price_rt=18.0,
+                                           backlog=0.0,
+                                           demand_ds=0.2))
+        # Nothing to charge for: cheap price should not trigger extra
+        # purchases when the controller ignores the battery.
+        assert decision.grt == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFeedback:
+    def test_y_updates_from_realized_service(self, controller):
+        from repro.core.interfaces import SlotFeedback
+        controller.plan_long_term(coarse_obs())
+        controller.end_slot(SlotFeedback(
+            fine_slot=0, served_dt=0.0, served_ds=1.0,
+            unserved_ds=0.0, charge=0.0, discharge=0.0, waste=0.0,
+            battery_level=0.5, backlog=0.4, had_backlog=True))
+        assert controller.delay_queue.value == pytest.approx(0.5)
+
+    def test_y_stays_zero_without_backlog(self, controller):
+        from repro.core.interfaces import SlotFeedback
+        controller.end_slot(SlotFeedback(
+            fine_slot=0, served_dt=0.0, served_ds=1.0,
+            unserved_ds=0.0, charge=0.0, discharge=0.0, waste=0.0,
+            battery_level=0.5, backlog=0.0, had_backlog=False))
+        assert controller.delay_queue.value == 0.0
+
+
+class TestShiftModes:
+    def test_paper_shift_mode_runs(self):
+        ctrl = SmartDPSS(
+            paper_controller_config().replace(
+                battery_shift_mode="paper"))
+        ctrl.begin_horizon(paper_system_config())
+        gbef = ctrl.plan_long_term(coarse_obs())
+        assert gbef >= 0.0
+
+    def test_operational_shift_tracks_prices(self):
+        ctrl = SmartDPSS(paper_controller_config())
+        ctrl.begin_horizon(paper_system_config())
+        ctrl.plan_long_term(coarse_obs())
+        first_shift = ctrl.battery_queue.shift
+        # Feed expensive observations: the reference price rises, so
+        # the next plan's shift point must rise too.
+        for _ in range(10):
+            ctrl.real_time(fine_obs(price_rt=150.0))
+        ctrl.plan_long_term(coarse_obs(coarse_index=1, fine_slot=24))
+        assert ctrl.battery_queue.shift > first_shift

@@ -1,0 +1,165 @@
+"""Future-work extensions: cooling overhead and peak analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.peaks import (
+    demand_charge,
+    grid_draw_series,
+    peak_report,
+)
+from repro.baselines.impatient import ImpatientController
+from repro.config.presets import paper_controller_config, paper_system_config
+from repro.core.smartdpss import SmartDPSS
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import run_simulation
+from repro.traces.library import make_paper_traces
+from repro.traces.scaling import clip_demand_peaks
+from repro.workload.cooling import (
+    CoolingModel,
+    apply_cooling_overhead,
+    sample_temperature,
+)
+
+
+class TestCoolingModel:
+    def test_free_cooling_region(self):
+        model = CoolingModel(free_cooling_below_c=10.0,
+                             base_overhead=0.08)
+        assert model.overhead(-5.0) == pytest.approx(0.08)
+        assert model.overhead(10.0) == pytest.approx(0.08)
+
+    def test_overhead_grows_with_temperature(self):
+        model = CoolingModel()
+        assert model.overhead(30.0) > model.overhead(15.0) \
+            > model.overhead(5.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"diurnal_amplitude_c": -1.0},
+        {"weather_rho": 1.0},
+        {"weather_sigma_c": -1.0},
+        {"base_overhead": -0.1},
+        {"slot_hours": 0.0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CoolingModel(**kwargs)
+
+
+class TestTemperature:
+    def test_deterministic(self):
+        model = CoolingModel()
+        a = sample_temperature(model, 100,
+                               np.random.default_rng(1))
+        b = sample_temperature(model, 100,
+                               np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_diurnal_afternoon_peak(self):
+        model = CoolingModel(weather_sigma_c=0.0)
+        temps = sample_temperature(model, 24 * 10,
+                                   np.random.default_rng(2))
+        hours = np.arange(temps.size) % 24
+        afternoon = temps[hours == 15].mean()
+        night = temps[hours == 3].mean()
+        assert afternoon > night
+
+    def test_invalid_slots_rejected(self):
+        with pytest.raises(ValueError):
+            sample_temperature(CoolingModel(), 0,
+                               np.random.default_rng(0))
+
+
+class TestApplyCooling:
+    def test_inflates_ds_only(self):
+        system = paper_system_config(days=4)
+        traces = make_paper_traces(system, seed=70)
+        cooled, temps = apply_cooling_overhead(
+            traces, np.random.default_rng(3))
+        assert np.all(cooled.demand_ds >= traces.demand_ds)
+        assert np.array_equal(cooled.demand_dt, traces.demand_dt)
+        assert temps.size == traces.n_slots
+
+    def test_meta_records_overhead(self):
+        system = paper_system_config(days=2)
+        traces = make_paper_traces(system, seed=71)
+        cooled, _ = apply_cooling_overhead(
+            traces, np.random.default_rng(4))
+        assert cooled.meta["cooling_mean_overhead"] > 0.0
+
+    def test_cooled_system_still_runs(self):
+        system = paper_system_config(days=4)
+        traces = make_paper_traces(system, seed=72)
+        cooled, _ = apply_cooling_overhead(
+            traces, np.random.default_rng(5))
+        cooled = clip_demand_peaks(cooled, system.p_grid)
+        result = run_simulation(
+            system, SmartDPSS(paper_controller_config()), cooled)
+        assert result.availability == 1.0
+
+    def test_hot_weather_costs_more(self):
+        system = paper_system_config(days=7)
+        traces = make_paper_traces(system, seed=73)
+        cold = CoolingModel(mean_temp_c=0.0, weather_sigma_c=0.0)
+        hot = CoolingModel(mean_temp_c=25.0, weather_sigma_c=0.0)
+        costs = {}
+        for label, model in (("cold", cold), ("hot", hot)):
+            cooled, _ = apply_cooling_overhead(
+                traces, np.random.default_rng(6), model)
+            cooled = clip_demand_peaks(cooled, system.p_grid)
+            result = run_simulation(
+                system, SmartDPSS(paper_controller_config()), cooled)
+            costs[label] = result.time_average_cost
+        assert costs["hot"] > costs["cold"]
+
+
+class TestPeakAnalysis:
+    @pytest.fixture(scope="class")
+    def results(self):
+        system = paper_system_config(days=7)
+        traces = make_paper_traces(system, seed=74)
+        smart = run_simulation(
+            system, SmartDPSS(paper_controller_config()), traces)
+        impatient = run_simulation(system, ImpatientController(),
+                                   traces)
+        return system, smart, impatient
+
+    def test_draw_series_bounded_by_pgrid(self, results):
+        system, smart, _ = results
+        draw = grid_draw_series(smart)
+        assert np.all(draw <= system.p_grid + 1e-9)
+
+    def test_peak_report_consistent(self, results):
+        _, smart, _ = results
+        report = peak_report(smart)
+        assert report["mean_mwh"] <= report["p95_mwh"] \
+            <= report["p99_mwh"] <= report["peak_mwh"]
+        assert 0.0 < report["load_factor"] <= 1.0
+
+    def test_demand_charge_scales_with_tariff(self, results):
+        _, smart, _ = results
+        low = demand_charge(smart, dollars_per_mw_month=5_000.0)
+        high = demand_charge(smart, dollars_per_mw_month=10_000.0)
+        assert high == pytest.approx(2.0 * low)
+
+    def test_demand_charge_prorated(self, results):
+        _, smart, _ = results
+        bill = demand_charge(smart)
+        # 7 of 31 days → roughly 168/744 of a monthly charge.
+        peak_mw = grid_draw_series(smart).max()
+        assert bill == pytest.approx(
+            peak_mw * 10_000.0 * 168 / 744)
+
+    def test_negative_tariff_rejected(self, results):
+        _, smart, _ = results
+        with pytest.raises(ValueError):
+            demand_charge(smart, dollars_per_mw_month=-1.0)
+
+    def test_paper_peak_remark(self, results):
+        # Section IV-C: SmartDPSS "may incur power peaks ... limited"
+        # by Pgrid.  Measured: its peak is no lower than Impatient's
+        # (it deliberately loads cheap hours) but capped at Pgrid.
+        system, smart, impatient = results
+        assert peak_report(smart)["peak_mwh"] \
+            >= peak_report(impatient)["peak_mwh"] - 0.2
+        assert peak_report(smart)["peak_mwh"] <= system.p_grid + 1e-9

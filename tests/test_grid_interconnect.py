@@ -1,0 +1,50 @@
+"""Grid interconnect cap (constraint 5)."""
+
+import pytest
+
+from repro.exceptions import InfeasibleActionError
+from repro.grid.interconnect import GridInterconnect
+
+
+class TestInterconnect:
+    def test_remaining_capacity(self):
+        grid = GridInterconnect(2.0)
+        assert grid.remaining_capacity(0.5) == pytest.approx(1.5)
+
+    def test_remaining_capacity_never_negative(self):
+        grid = GridInterconnect(2.0)
+        assert grid.remaining_capacity(3.0) == 0.0
+
+    def test_clamp_real_time(self):
+        grid = GridInterconnect(2.0)
+        assert grid.clamp_real_time(5.0, 0.5) == pytest.approx(1.5)
+        assert grid.clamp_real_time(1.0, 0.5) == pytest.approx(1.0)
+
+    def test_clamp_negative_rejected(self):
+        with pytest.raises(InfeasibleActionError):
+            GridInterconnect(2.0).clamp_real_time(-0.1, 0.0)
+
+    def test_validate_long_term_rate(self):
+        grid = GridInterconnect(2.0)
+        grid.validate_long_term_rate(2.0)  # exactly at cap: fine
+        with pytest.raises(InfeasibleActionError):
+            grid.validate_long_term_rate(2.1)
+        with pytest.raises(InfeasibleActionError):
+            grid.validate_long_term_rate(-0.1)
+
+    def test_max_block_purchase(self):
+        grid = GridInterconnect(2.0)
+        assert grid.max_block_purchase(24) == pytest.approx(48.0)
+
+    def test_max_block_invalid_t_rejected(self):
+        with pytest.raises(ValueError):
+            GridInterconnect(2.0).max_block_purchase(0)
+
+    def test_negative_pgrid_rejected(self):
+        with pytest.raises(ValueError):
+            GridInterconnect(-1.0)
+
+    def test_zero_pgrid_blocks_everything(self):
+        grid = GridInterconnect(0.0)
+        assert grid.clamp_real_time(1.0, 0.0) == 0.0
+        assert grid.max_block_purchase(24) == 0.0

@@ -1,0 +1,57 @@
+"""Deterministic RNG substreams."""
+
+import numpy as np
+import pytest
+
+from repro.rng import DEFAULT_SEED, RngFactory, make_rng, substream_seed
+
+
+class TestSubstreamSeed:
+    def test_deterministic(self):
+        assert substream_seed(42, "solar") == substream_seed(42, "solar")
+
+    def test_name_sensitivity(self):
+        assert substream_seed(42, "solar") != substream_seed(42, "prices")
+
+    def test_seed_sensitivity(self):
+        assert substream_seed(42, "solar") != substream_seed(43, "solar")
+
+    def test_fits_in_63_bits(self):
+        for name in ("a", "solar", "prices", "x" * 100):
+            assert 0 <= substream_seed(DEFAULT_SEED, name) < 2 ** 63
+
+
+class TestMakeRng:
+    def test_identical_streams(self):
+        a = make_rng(7, "demand").random(16)
+        b = make_rng(7, "demand").random(16)
+        assert np.array_equal(a, b)
+
+    def test_independent_streams(self):
+        a = make_rng(7, "demand").random(16)
+        b = make_rng(7, "solar").random(16)
+        assert not np.array_equal(a, b)
+
+
+class TestRngFactory:
+    def test_stream_reproducible_across_calls(self):
+        factory = RngFactory(9)
+        first = factory.stream("prices").random(8)
+        second = factory.stream("prices").random(8)
+        assert np.array_equal(first, second)
+
+    def test_child_differs_from_parent(self):
+        factory = RngFactory(9)
+        child = factory.child("replica-1")
+        assert child.seed != factory.seed
+
+    def test_children_differ(self):
+        factory = RngFactory(9)
+        assert factory.child("a").seed != factory.child("b").seed
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngFactory("not-a-seed")
+
+    def test_repr_mentions_seed(self):
+        assert "9" in repr(RngFactory(9))

@@ -1,0 +1,109 @@
+"""Google-cluster-like synthetic demand generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rng import make_rng
+from repro.traces.demand import DemandModel, GoogleClusterDemandGenerator
+
+
+class TestDemandModelValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"search_peak_mw": -1.0},
+        {"mail_peak_mw": -0.1},
+        {"static_floor_mw": -0.1},
+        {"batch_jobs_per_hour": -1.0},
+        {"batch_job_energy_mwh": -0.1},
+        {"d_dt_max": -1.0},
+        {"weekend_factor": 0.0},
+        {"noise_rho": 1.0},
+        {"batch_sigma": -0.5},
+        {"start_weekday": -1},
+        {"slot_hours": 0.0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DemandModel(**kwargs)
+
+
+class TestDelaySensitive:
+    def test_deterministic(self):
+        gen = GoogleClusterDemandGenerator()
+        a = gen.delay_sensitive(100, make_rng(1, "d"))
+        b = gen.delay_sensitive(100, make_rng(1, "d"))
+        assert np.array_equal(a, b)
+
+    def test_nonnegative(self):
+        series = GoogleClusterDemandGenerator().delay_sensitive(
+            1000, make_rng(2, "d"))
+        assert np.all(series >= 0.0)
+
+    def test_diurnal_daytime_peak(self):
+        series = GoogleClusterDemandGenerator().delay_sensitive(
+            24 * 60, make_rng(3, "d"))
+        hours = np.arange(series.size) % 24
+        day = series[(hours >= 10) & (hours <= 18)].mean()
+        night = series[(hours >= 1) & (hours <= 5)].mean()
+        assert day > night * 1.3
+
+    def test_static_floor_respected(self):
+        model = DemandModel(static_floor_mw=0.25)
+        series = GoogleClusterDemandGenerator(model).delay_sensitive(
+            500, make_rng(4, "d"))
+        assert np.all(series >= 0.25 - 1e-9)
+
+    def test_weekends_lighter(self):
+        model = DemandModel(start_weekday=0, noise_sigma=0.0)
+        series = GoogleClusterDemandGenerator(model).delay_sensitive(
+            24 * 7 * 6, make_rng(5, "d"))
+        days = (np.arange(series.size) // 24) % 7
+        assert series[days >= 5].mean() < series[days < 5].mean()
+
+
+class TestDelayTolerant:
+    def test_capped_at_ddtmax(self):
+        model = DemandModel(d_dt_max=0.7)
+        series = GoogleClusterDemandGenerator(model).delay_tolerant(
+            2000, make_rng(6, "d"))
+        assert np.all(series <= 0.7 + 1e-12)
+        assert np.all(series >= 0.0)
+
+    def test_bursty_but_stable_mean(self):
+        series = GoogleClusterDemandGenerator().delay_tolerant(
+            24 * 200, make_rng(7, "d"))
+        # Bursty: some zero slots and some at/near the cap.
+        assert np.any(series == 0.0)
+        assert series.max() > 0.9
+        # Stable mean in a plausible MapReduce-share range.
+        assert 0.3 < series.mean() < 0.8
+
+    def test_zero_rate_produces_nothing(self):
+        model = DemandModel(batch_jobs_per_hour=0.0)
+        series = GoogleClusterDemandGenerator(model).delay_tolerant(
+            100, make_rng(8, "d"))
+        assert np.all(series == 0.0)
+
+    def test_zero_job_energy_produces_nothing(self):
+        model = DemandModel(batch_job_energy_mwh=0.0)
+        series = GoogleClusterDemandGenerator(model).delay_tolerant(
+            100, make_rng(9, "d"))
+        assert np.all(series == 0.0)
+
+
+class TestGenerate:
+    def test_returns_pair(self):
+        ds, dt = GoogleClusterDemandGenerator().generate(
+            48, make_rng(10, "d"))
+        assert ds.size == dt.size == 48
+
+    def test_invalid_slot_count_rejected(self):
+        with pytest.raises(ValueError):
+            GoogleClusterDemandGenerator().generate(
+                0, make_rng(11, "d"))
+
+    def test_interactive_dominates(self):
+        # The paper's mix: interactive (Websearch/Webmail) is the bulk.
+        ds, dt = GoogleClusterDemandGenerator().generate(
+            24 * 60, make_rng(12, "d"))
+        assert ds.sum() > dt.sum()

@@ -1,0 +1,104 @@
+"""NYISO-like synthetic price generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rng import make_rng
+from repro.traces.prices import NyisoLikePriceGenerator, PriceModel
+
+
+class TestPriceModelValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"mean_price": 0.0},
+        {"price_floor": -1.0},
+        {"price_floor": 250.0},  # above cap
+        {"weekend_factor": 0.0},
+        {"noise_rho": 1.0},
+        {"noise_sigma": -0.1},
+        {"spike_probability": 1.0},
+        {"spike_scale": 0.5},
+        {"forward_discount": 0.0},
+        {"forward_discount": 1.5},
+        {"start_weekday": 7},
+        {"slot_hours": 0.0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PriceModel(**kwargs)
+
+
+class TestRealTimePrices:
+    def test_deterministic(self):
+        gen = NyisoLikePriceGenerator()
+        a = gen.real_time_prices(200, make_rng(1, "p"))
+        b = gen.real_time_prices(200, make_rng(1, "p"))
+        assert np.array_equal(a, b)
+
+    def test_within_bounds(self):
+        model = PriceModel(price_floor=5.0, price_cap=200.0)
+        prices = NyisoLikePriceGenerator(model).real_time_prices(
+            2000, make_rng(2, "p"))
+        assert np.all(prices >= 5.0)
+        assert np.all(prices <= 200.0)
+
+    def test_mean_near_target(self):
+        model = PriceModel(mean_price=50.0, spike_probability=0.0)
+        prices = NyisoLikePriceGenerator(model).real_time_prices(
+            24 * 200, make_rng(3, "p"))
+        assert prices.mean() == pytest.approx(50.0, rel=0.12)
+
+    def test_diurnal_shape_peaks_evening(self):
+        prices = NyisoLikePriceGenerator().real_time_prices(
+            24 * 60, make_rng(4, "p"))
+        hours = np.arange(prices.size) % 24
+        by_hour = np.array([prices[hours == h].mean()
+                            for h in range(24)])
+        assert by_hour[18] > by_hour[3]
+        assert int(np.argmin(by_hour)) in range(0, 6)
+
+    def test_weekends_cheaper(self):
+        model = PriceModel(start_weekday=0, spike_probability=0.0)
+        prices = NyisoLikePriceGenerator(model).real_time_prices(
+            24 * 7 * 8, make_rng(5, "p"))
+        days = (np.arange(prices.size) // 24) % 7
+        weekday = prices[days < 5].mean()
+        weekend = prices[days >= 5].mean()
+        assert weekend < weekday
+
+    def test_spikes_raise_tail(self):
+        quiet = PriceModel(spike_probability=0.0)
+        spiky = PriceModel(spike_probability=0.05)
+        q = NyisoLikePriceGenerator(quiet).real_time_prices(
+            5000, make_rng(6, "p"))
+        s = NyisoLikePriceGenerator(spiky).real_time_prices(
+            5000, make_rng(6, "p"))
+        assert np.percentile(s, 99) > np.percentile(q, 99)
+
+
+class TestForwardCurve:
+    def test_cheaper_on_average_than_rt(self):
+        gen = NyisoLikePriceGenerator()
+        rng = make_rng(7, "p")
+        rt, forward = gen.generate(24 * 100, rng)
+        assert forward.mean() < rt.mean()
+
+    def test_discount_magnitude(self):
+        model = PriceModel(forward_discount=0.85,
+                           forward_noise_sigma=0.0,
+                           spike_probability=0.0)
+        gen = NyisoLikePriceGenerator(model)
+        rng = make_rng(8, "p")
+        rt, forward = gen.generate(24 * 100, rng)
+        ratio = forward.mean() / rt.mean()
+        assert ratio == pytest.approx(0.85, abs=0.06)
+
+    def test_forward_within_bounds(self):
+        gen = NyisoLikePriceGenerator()
+        forward = gen.forward_curve(1000, make_rng(9, "p"))
+        assert np.all(forward >= gen.model.price_floor)
+        assert np.all(forward <= gen.model.price_cap)
+
+    def test_invalid_slot_count_rejected(self):
+        with pytest.raises(ValueError):
+            NyisoLikePriceGenerator().generate(0, make_rng(10, "p"))

@@ -1,0 +1,132 @@
+"""Trace scaling transforms (peak clipping, penetration, variation, β)."""
+
+import numpy as np
+import pytest
+
+from repro.traces.scaling import (
+    clip_demand_peaks,
+    expand_system,
+    rescale_renewable_penetration,
+    reshape_demand_variation,
+)
+from tests.conftest import constant_traces
+
+
+def bursty_traces(n_slots: int = 48):
+    rng = np.random.default_rng(0)
+    ds = 1.0 + rng.uniform(0, 1.5, n_slots)
+    dt = rng.uniform(0, 0.8, n_slots)
+    return constant_traces(n_slots).replace(demand_ds=ds, demand_dt=dt)
+
+
+class TestClipDemandPeaks:
+    def test_caps_total_demand(self):
+        traces = clip_demand_peaks(bursty_traces(), p_grid=2.0)
+        assert np.all(traces.demand_total <= 2.0 + 1e-9)
+
+    def test_preserves_mix_on_clipped_slots(self):
+        raw = bursty_traces()
+        clipped = clip_demand_peaks(raw, p_grid=2.0)
+        over = raw.demand_total > 2.0
+        ratio_raw = raw.demand_ds[over] / raw.demand_total[over]
+        ratio_new = (clipped.demand_ds[over]
+                     / clipped.demand_total[over])
+        assert np.allclose(ratio_raw, ratio_new)
+
+    def test_untouched_below_cap(self):
+        raw = constant_traces(10, demand_ds=0.5, demand_dt=0.2)
+        clipped = clip_demand_peaks(raw, p_grid=2.0)
+        assert np.array_equal(raw.demand_ds, clipped.demand_ds)
+
+    def test_records_meta(self):
+        clipped = clip_demand_peaks(bursty_traces(), p_grid=2.0)
+        assert clipped.meta["peak_clip_p_grid"] == 2.0
+        assert clipped.meta["peak_clip_slots"] >= 0
+
+    def test_zero_pgrid_rejected(self):
+        with pytest.raises(ValueError):
+            clip_demand_peaks(bursty_traces(), p_grid=0.0)
+
+
+class TestRenewablePenetration:
+    def test_hits_target(self):
+        traces = constant_traces(24, renewable=0.1)
+        for target in (0.0, 0.25, 0.5, 1.0):
+            scaled = rescale_renewable_penetration(traces, target)
+            assert scaled.renewable_penetration == pytest.approx(target)
+
+    def test_preserves_shape(self):
+        rng = np.random.default_rng(1)
+        traces = constant_traces(24).replace(
+            renewable=rng.uniform(0, 1, 24))
+        scaled = rescale_renewable_penetration(traces, 0.5)
+        nonzero = traces.renewable > 0
+        ratio = scaled.renewable[nonzero] / traces.renewable[nonzero]
+        assert np.allclose(ratio, ratio[0])
+
+    def test_zero_renewable_stays_zero(self):
+        traces = constant_traces(8, renewable=0.0)
+        scaled = rescale_renewable_penetration(traces, 0.5)
+        assert np.all(scaled.renewable == 0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            rescale_renewable_penetration(constant_traces(4), -0.1)
+
+
+class TestDemandVariation:
+    def test_identity_at_one(self):
+        traces = bursty_traces()
+        reshaped = reshape_demand_variation(traces, 1.0)
+        assert np.allclose(traces.demand_ds, reshaped.demand_ds)
+
+    def test_zero_scale_flattens(self):
+        traces = bursty_traces()
+        flat = reshape_demand_variation(traces, 0.0)
+        assert flat.demand_std == pytest.approx(0.0, abs=1e-9)
+
+    def test_mean_approximately_preserved(self):
+        traces = bursty_traces()
+        for scale in (0.5, 1.5):
+            reshaped = reshape_demand_variation(traces, scale)
+            assert reshaped.demand_total.mean() == pytest.approx(
+                traces.demand_total.mean(), rel=0.05)
+
+    def test_std_scales(self):
+        traces = bursty_traces()
+        half = reshape_demand_variation(traces, 0.5)
+        assert half.demand_std == pytest.approx(
+            traces.demand_std * 0.5, rel=0.1)
+
+    def test_no_negative_demand(self):
+        traces = bursty_traces()
+        stretched = reshape_demand_variation(traces, 3.0)
+        assert np.all(stretched.demand_ds >= 0.0)
+        assert np.all(stretched.demand_dt >= 0.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            reshape_demand_variation(bursty_traces(), -1.0)
+
+
+class TestExpandSystem:
+    def test_scales_demand_and_renewable(self):
+        traces = constant_traces(6, demand_ds=1.0, demand_dt=0.5,
+                                 renewable=0.2)
+        expanded = expand_system(traces, 3.0)
+        assert np.allclose(expanded.demand_ds, 3.0)
+        assert np.allclose(expanded.demand_dt, 1.5)
+        assert np.allclose(expanded.renewable, 0.6)
+
+    def test_prices_untouched(self):
+        traces = constant_traces(6, price_rt=50.0)
+        expanded = expand_system(traces, 5.0)
+        assert np.allclose(expanded.price_rt, 50.0)
+
+    def test_beta_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            expand_system(constant_traces(4), 0.5)
+
+    def test_meta_records_beta(self):
+        expanded = expand_system(constant_traces(4), 2.0)
+        assert expanded.meta["expansion_beta"] == 2.0

@@ -1,0 +1,113 @@
+"""MIDC-like synthetic solar generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rng import make_rng
+from repro.traces.solar import (
+    MidcLikeSolarGenerator,
+    SolarModel,
+    solar_declination_deg,
+    solar_elevation_sin,
+)
+
+
+class TestSolarGeometry:
+    def test_declination_january_negative(self):
+        # Northern-hemisphere winter: sun below the equator.
+        assert solar_declination_deg(1) < -20.0
+
+    def test_declination_june_positive(self):
+        assert solar_declination_deg(172) > 20.0
+
+    def test_elevation_zero_at_night(self):
+        assert solar_elevation_sin(39.74, 15, 0.0) == 0.0
+        assert solar_elevation_sin(39.74, 15, 23.0) == 0.0
+
+    def test_elevation_peaks_at_noon(self):
+        values = [solar_elevation_sin(39.74, 15, h)
+                  for h in range(24)]
+        assert int(np.argmax(values)) == 12
+
+    def test_elevation_higher_in_summer(self):
+        winter = solar_elevation_sin(39.74, 15, 12.0)
+        summer = solar_elevation_sin(39.74, 172, 12.0)
+        assert summer > winter
+
+
+class TestSolarModelValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity_mw": -1.0},
+        {"latitude_deg": 95.0},
+        {"cloud_persistence": 1.0},
+        {"cloud_attenuation": (1.0, 0.5)},
+        {"cloud_attenuation": (1.0, 0.5, 1.5)},
+        {"noise_rho": 1.0},
+        {"noise_sigma": -0.1},
+        {"slot_hours": 0.0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SolarModel(**kwargs)
+
+
+class TestGeneration:
+    def test_deterministic_given_rng(self):
+        gen = MidcLikeSolarGenerator()
+        a = gen.generate(96, make_rng(1, "solar"))
+        b = gen.generate(96, make_rng(1, "solar"))
+        assert np.array_equal(a, b)
+
+    def test_nonnegative_and_capped(self):
+        model = SolarModel(capacity_mw=2.0)
+        series = MidcLikeSolarGenerator(model).generate(
+            240, make_rng(2, "solar"))
+        assert np.all(series >= 0.0)
+        assert np.all(series <= 2.0)
+
+    def test_night_is_dark(self):
+        series = MidcLikeSolarGenerator().generate(
+            96, make_rng(3, "solar"))
+        hours = np.arange(96) % 24
+        assert np.all(series[(hours <= 5) | (hours >= 20)] == 0.0)
+
+    def test_day_produces(self):
+        series = MidcLikeSolarGenerator().generate(
+            240, make_rng(4, "solar"))
+        hours = np.arange(240) % 24
+        assert series[hours == 12].mean() > 0.05
+
+    def test_clear_sky_deterministic_envelope(self):
+        gen = MidcLikeSolarGenerator()
+        profile = gen.clear_sky_profile(24)
+        assert profile.max() == profile[12]
+        assert profile[0] == 0.0
+
+    def test_cloud_states_valid(self):
+        states = MidcLikeSolarGenerator().cloud_states(
+            500, make_rng(5, "clouds"))
+        assert set(np.unique(states)) <= {0, 1, 2}
+
+    def test_cloud_persistence(self):
+        # With 0.88 persistence, consecutive states repeat most often.
+        states = MidcLikeSolarGenerator().cloud_states(
+            2000, make_rng(6, "clouds"))
+        repeats = np.mean(states[1:] == states[:-1])
+        assert repeats > 0.7
+
+    def test_noise_is_mean_one_ish(self):
+        noise = MidcLikeSolarGenerator().noise_path(
+            5000, make_rng(7, "noise"))
+        assert noise.mean() == pytest.approx(1.0, abs=0.05)
+        assert np.all(noise >= 0.0)
+
+    def test_zero_capacity_all_dark(self):
+        model = SolarModel(capacity_mw=0.0)
+        series = MidcLikeSolarGenerator(model).generate(
+            48, make_rng(8, "solar"))
+        assert np.all(series == 0.0)
+
+    def test_invalid_slot_count_rejected(self):
+        with pytest.raises(ValueError):
+            MidcLikeSolarGenerator().generate(0, make_rng(9, "solar"))

@@ -1,0 +1,84 @@
+"""Synthetic wind generator (power curve + OU wind speed)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rng import make_rng
+from repro.traces.wind import WindModel, WindTraceGenerator
+
+
+class TestWindModelValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity_mw": -1.0},
+        {"cut_in": 12.0, "rated": 12.0},          # cut_in == rated
+        {"rated": 30.0},                           # rated > cut_out
+        {"mean_speed": 0.0},
+        {"reversion": 0.0},
+        {"speed_volatility": -0.1},
+        {"slot_hours": 0.0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WindModel(**kwargs)
+
+
+class TestPowerCurve:
+    def setup_method(self):
+        self.gen = WindTraceGenerator(WindModel(capacity_mw=2.0))
+
+    def test_zero_below_cut_in(self):
+        assert self.gen.power_from_speed(2.9) == 0.0
+
+    def test_zero_above_cut_out(self):
+        assert self.gen.power_from_speed(25.0) == 0.0
+        assert self.gen.power_from_speed(30.0) == 0.0
+
+    def test_rated_at_rated_speed(self):
+        assert self.gen.power_from_speed(12.0) == pytest.approx(2.0)
+        assert self.gen.power_from_speed(20.0) == pytest.approx(2.0)
+
+    def test_cubic_region_monotone(self):
+        speeds = np.linspace(3.0, 12.0, 20)
+        powers = [self.gen.power_from_speed(s) for s in speeds]
+        assert all(b >= a for a, b in zip(powers, powers[1:]))
+
+    def test_cubic_region_interior_value(self):
+        # Halfway in speed is far less than halfway in power (cubic).
+        power = self.gen.power_from_speed(7.5)
+        assert 0.0 < power < 1.0
+
+
+class TestWindGeneration:
+    def test_deterministic(self):
+        gen = WindTraceGenerator()
+        a = gen.generate(200, make_rng(1, "w"))
+        b = gen.generate(200, make_rng(1, "w"))
+        assert np.array_equal(a, b)
+
+    def test_bounded_by_capacity(self):
+        model = WindModel(capacity_mw=1.5)
+        series = WindTraceGenerator(model).generate(
+            1000, make_rng(2, "w"))
+        assert np.all(series >= 0.0)
+        assert np.all(series <= 1.5 + 1e-12)
+
+    def test_produces_at_night_unlike_solar(self):
+        series = WindTraceGenerator().generate(
+            24 * 60, make_rng(3, "w"))
+        hours = np.arange(series.size) % 24
+        assert series[hours == 2].mean() > 0.0
+
+    def test_speed_path_positive(self):
+        speeds = WindTraceGenerator().speed_path(500, make_rng(4, "w"))
+        assert np.all(speeds > 0.0)
+
+    def test_speed_mean_reverts(self):
+        model = WindModel(mean_speed=7.5)
+        speeds = WindTraceGenerator(model).speed_path(
+            24 * 400, make_rng(5, "w"))
+        assert speeds.mean() == pytest.approx(7.5, rel=0.25)
+
+    def test_invalid_slot_count_rejected(self):
+        with pytest.raises(ValueError):
+            WindTraceGenerator().generate(0, make_rng(6, "w"))
