@@ -1,0 +1,31 @@
+# Developer entry points.  Everything assumes the in-repo layout
+# (PYTHONPATH=src); no installation required.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test test-fast test-equivalence bench-smoke bench-batch benchmarks
+
+# Tier-1 verify: the full suite, fail-fast.
+test:
+	$(PY) -m pytest -x -q
+
+# Quick inner loop: skip the long-horizon integration tests.
+test-fast:
+	$(PY) -m pytest -x -q -m "not slow"
+
+# Just the cross-engine equivalence harness + golden fixtures.
+test-equivalence:
+	$(PY) -m pytest -q -m equivalence
+
+# Tiny batch-vs-serial canary: fails if the batch engine errors,
+# diverges from the scalar engine, or regresses past 2x serial.
+bench-smoke:
+	$(PY) benchmarks/smoke.py
+
+# Full measurement on the fig10 scaling workload; writes BENCH_batch.json.
+bench-batch:
+	$(PY) benchmarks/bench_batch.py
+
+# Figure-regeneration benchmarks (pytest-benchmark suite).
+benchmarks:
+	$(PY) -m pytest benchmarks -q

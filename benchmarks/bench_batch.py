@@ -1,0 +1,128 @@
+"""Batch-vs-serial engine benchmark on the Fig. 10 scaling workload.
+
+Replicates the Fig. 10 expansion sweep (4 β values × N seeds, 31-day
+horizon) at growing batch sizes and times the serial scalar engine
+against the vectorized batch engine on the identical run list,
+verifying bit-identical results before trusting any timing.  Results
+land in ``BENCH_batch.json`` at the repo root (see
+benchmarks/README.md for how to read it).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py            # full
+    PYTHONPATH=src python benchmarks/bench_batch.py --quick    # small
+
+The PR acceptance bar is a ≥5× speedup at batch size ≥32.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.fig10_scaling import build_fig10_specs  # noqa: E402
+from repro.sim.batch import simulate_many  # noqa: E402
+from repro.sim.recorder import SERIES_NAMES  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_batch.json"
+
+
+def fig10_fleet(n_seeds: int, days: int) -> list:
+    """The Fig. 10 sweep replicated across seeds: 4·n_seeds runs."""
+    specs = []
+    for seed in range(n_seeds):
+        specs.extend(build_fig10_specs(seed=seed, days=days))
+    return specs
+
+
+def identical(a, b) -> bool:
+    return all(np.array_equal(a.series[name], b.series[name])
+               for name in SERIES_NAMES) \
+        and a.delay_stats.histogram == b.delay_stats.histogram
+
+
+def best_of(repeats: int, fn) -> tuple[float, object]:
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, value
+
+
+def measure(n_seeds: int, days: int, repeats: int) -> dict:
+    runs = fig10_fleet(n_seeds, days)
+    serial_s, serial = best_of(
+        repeats, lambda: simulate_many(runs, executor="serial"))
+    batch_s, batch = best_of(
+        repeats, lambda: simulate_many(runs, executor="batch"))
+    bit_identical = all(identical(a, b) for a, b in zip(serial, batch))
+    row = {
+        "batch_size": len(runs),
+        "horizon_slots": runs[0].system.horizon_slots,
+        "serial_s": round(serial_s, 4),
+        "batch_s": round(batch_s, 4),
+        "speedup": round(serial_s / batch_s, 2),
+        "bit_identical": bit_identical,
+    }
+    print(f"B={row['batch_size']:4d}  serial {serial_s:6.2f}s  "
+          f"batch {batch_s:6.2f}s  speedup {row['speedup']:5.2f}x  "
+          f"bit-identical={bit_identical}")
+    return row
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny sizes, no JSON output")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions (best-of)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        measure(n_seeds=2, days=4, repeats=1)
+        return 0
+
+    days = 31
+    rows = [measure(n_seeds, days, args.repeats)
+            for n_seeds in (2, 8, 16, 32)]
+
+    target = [row for row in rows if row["batch_size"] >= 32]
+    achieved = max(row["speedup"] for row in target)
+    ok = (all(row["bit_identical"] for row in rows)
+          and all(row["speedup"] >= 5.0 for row in target))
+    payload = {
+        "workload": ("fig10 system-expansion sweep "
+                     "(4 beta values x N seeds, SmartDPSS V=1)"),
+        "horizon_slots": rows[0]["horizon_slots"],
+        "timing": f"best of {args.repeats}",
+        "target": ">=5x speedup over serial at batch size >=32",
+        "target_met": ok,
+        "max_speedup_at_32_plus": achieved,
+        "results": rows,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n",
+                      encoding="utf-8")
+    print(f"\nwrote {OUTPUT} (target met: {ok})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

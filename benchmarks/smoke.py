@@ -1,0 +1,77 @@
+"""Batch-engine smoke benchmark: tiny, fast, suitable for CI.
+
+Runs the batch-vs-serial comparison at a deliberately small size
+(8 runs × 4 days) and fails if the batch path errors, diverges from
+the serial engine, or regresses to more than 2× the serial wall-clock.
+This is the canary wired into the test suite
+(tests/test_bench_smoke.py) and ``make bench-smoke``; the full
+measurement lives in benchmarks/bench_batch.py.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.fig10_scaling import build_fig10_specs  # noqa: E402
+from repro.sim.batch import simulate_many  # noqa: E402
+from repro.sim.recorder import SERIES_NAMES  # noqa: E402
+
+#: The smoke gate: batch must not exceed serial by more than this.
+MAX_REGRESSION = 2.0
+
+
+def run_smoke(n_seeds: int = 2, days: int = 4) -> dict:
+    """Time both engines on a tiny fig10 fleet; verify equivalence.
+
+    Returns the measurements; raises ``AssertionError`` on divergence
+    and reports ``ok=False`` when the batch path regresses past
+    ``MAX_REGRESSION``.
+    """
+    runs = []
+    for seed in range(n_seeds):
+        runs.extend(build_fig10_specs(seed=seed, days=days))
+
+    start = time.perf_counter()
+    serial = simulate_many(runs, executor="serial")
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = simulate_many(runs, executor="batch")
+    batch_s = time.perf_counter() - start
+
+    for index, (a, b) in enumerate(zip(serial, batch)):
+        for name in SERIES_NAMES:
+            assert np.array_equal(a.series[name], b.series[name]), (
+                f"run {index}: series {name!r} diverged")
+
+    return {
+        "batch_size": len(runs),
+        "serial_s": serial_s,
+        "batch_s": batch_s,
+        "ratio": batch_s / serial_s,
+        "ok": batch_s <= serial_s * MAX_REGRESSION,
+    }
+
+
+def main() -> int:
+    result = run_smoke()
+    print(f"B={result['batch_size']}  serial {result['serial_s']:.3f}s  "
+          f"batch {result['batch_s']:.3f}s  "
+          f"ratio {result['ratio']:.2f} (gate: <= {MAX_REGRESSION})")
+    if not result["ok"]:
+        print("FAIL: batch path regressed past the smoke gate")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,9 @@ from repro.core.interfaces import (
 )
 from repro.core.p4 import solve_p4
 from repro.core.p5 import solve_p5
+from repro.core.p5_vec import solve_p5_batch
 from repro.core.smartdpss import SmartDPSS
+from repro.core.smartdpss_vec import VecSmartDPSS
 from repro.core.virtual_queues import BatteryVirtualQueue, DelayAwareQueue
 
 __all__ = [
@@ -41,5 +43,7 @@ __all__ = [
     "BoundVariant",
     "solve_p4",
     "solve_p5",
+    "solve_p5_batch",
     "SmartDPSS",
+    "VecSmartDPSS",
 ]

@@ -33,9 +33,14 @@ Two variants, matching the P5 objective modes:
     (credit ``−X̂·ηc``) and beyond that is wasted at the penalty rate;
   - serving current backlog earns the queue drift credit ``Q̂ + Ŷ``.
 
-  The window cost is piecewise linear in ``x``; exact minimization is
-  a sweep over the per-slot breakpoints plus a uniform refinement
-  (:func:`repro.solvers.piecewise.piecewise_candidates_1d`).  Because
+  The window cost is piecewise linear in ``x``; exact minimization
+  sweeps the complete kink set — the per-slot net-demand breakpoints
+  (:func:`_base_grids`) plus the deferred-pool / waterfall /
+  battery-tier crossings located on that grid
+  (:func:`_deferred_breakpoints`) — evaluating every scenario's whole
+  candidate set in one tensor pass (:func:`solve_p4_many` batches the
+  scenarios of a coarse boundary; :func:`solve_p4` is its
+  single-scenario case).  Because
   the whole window is priced, the plan buys more on cheap contract
   days and less on expensive ones — the cross-day arbitrage the
   two-timescale market structure exists for — with no future
@@ -45,9 +50,11 @@ Two variants, matching the P5 objective modes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple, Sequence
+
+import numpy as np
 
 from repro.config.control import ObjectiveMode
-from repro.solvers.piecewise import piecewise_candidates_1d
 
 
 @dataclass(frozen=True)
@@ -118,60 +125,273 @@ def _deferrable_pool(state: P4State, scale: float) -> float:
                state.s_dt_max * state.t_slots)
 
 
-def _window_cost(state: P4State, rate: float) -> float:
-    """Certainty-equivalent cost of delivering at ``rate`` (see module doc)."""
-    nets = state.net_profile
-    n = len(nets)
-    prices = (state.profile_price_rt
-              if len(state.profile_price_rt) == n
-              else tuple(state.price_lt for _ in nets))
-    scale = state.t_slots / n
+#: Cache of step vectors ``[0, 1, …, count−1]`` keyed by length (P4
+#: solves run once per scenario per coarse boundary; the windows reuse
+#: a handful of lengths).
+_STEP_CACHE: dict[int, np.ndarray] = {}
 
-    cost = state.v * state.price_lt * rate * state.t_slots
-    surplus_total = 0.0
-    for net, price in zip(nets, prices):
-        gap = net - rate
-        if gap > 0:
-            # Delay-sensitive deficit: real-time top-up at this hour.
-            cost += state.v * price * gap * scale
+
+def _steps(count: int) -> np.ndarray:
+    steps = _STEP_CACHE.get(count)
+    if steps is None:
+        steps = _STEP_CACHE[count] = np.arange(float(count))
+    return steps
+
+
+class _StackedWindows(NamedTuple):
+    """Derived-mode inputs for a group of same-length windows.
+
+    Every field is stacked over the scenario axis so one tensor pass
+    evaluates all scenarios of a coarse boundary at once; a single
+    scenario is simply the ``count == 1`` case of the same code path,
+    which is what keeps the scalar and batch engines bit-identical.
+    """
+
+    count: int
+    n: int
+    nets: np.ndarray            # (count, n)
+    prices: np.ndarray          # (count, n)
+    scale: np.ndarray           # (count,)
+    t_slots: np.ndarray
+    v: np.ndarray
+    price_lt: np.ndarray
+    p_grid: np.ndarray
+    q_hat: np.ndarray
+    y_hat: np.ndarray
+    battery_value: np.ndarray   # −X̂·ηc (charge credit per MWh)
+    headroom_total: np.ndarray  # charge_headroom_total
+    waste_penalty: np.ndarray
+    pools: np.ndarray
+    floors: np.ndarray
+
+
+def _stack_windows(states: Sequence[P4State]) -> _StackedWindows:
+    n = len(states[0].net_profile)
+    count = len(states)
+    nets = np.empty((count, n))
+    prices = np.empty((count, n))
+    for index, state in enumerate(states):
+        nets[index] = state.net_profile
+        if len(state.profile_price_rt) == n:
+            prices[index] = state.profile_price_rt
         else:
-            surplus_total += -gap * scale
+            prices[index] = state.price_lt
+
+    def pull(get) -> np.ndarray:
+        return np.array([get(state) for state in states])
+
+    t_slots = pull(lambda s: float(s.t_slots))
+    scale = t_slots / n
+    return _StackedWindows(
+        count=count,
+        n=n,
+        nets=nets,
+        prices=prices,
+        scale=scale,
+        t_slots=t_slots,
+        v=pull(lambda s: s.v),
+        price_lt=pull(lambda s: s.price_lt),
+        p_grid=pull(lambda s: s.p_grid),
+        q_hat=pull(lambda s: s.q_hat),
+        y_hat=pull(lambda s: s.y_hat),
+        battery_value=pull(lambda s: -s.x_hat * s.eta_c),
+        headroom_total=pull(lambda s: s.charge_headroom_total),
+        waste_penalty=pull(lambda s: s.waste_penalty),
+        pools=np.array([
+            _deferrable_pool(state, state.t_slots / n)
+            for state in states]),
+        floors=pull(lambda s: min(_floor_rate(s), s.p_grid)),
+    )
+
+
+def _window_values(w: _StackedWindows, rates: np.ndarray) -> np.ndarray:
+    """Certainty-equivalent window cost at every ``(scenario, rate)``.
+
+    ``rates`` is ``(count, C)``; the cost components are the array form
+    of the rules in the module docstring — per-slot deficits topped up
+    at that hour's price, the deferred pool served from surplus then
+    from the cheapest observed hours within the per-window headroom (a
+    constant-step waterfall in closed form), the battery tier, then
+    waste.  All reductions run over the last, contiguous axis (window
+    slots), so each ``(scenario, rate)`` lane's result is independent
+    of how many other lanes are evaluated alongside it — the scalar
+    solver is literally the ``count == 1`` call of this kernel.
+    """
+    gap = w.nets[:, None, :] - rates[:, :, None]
+    deficits = np.maximum(gap, 0.0)
+    surplus = (deficits - gap).sum(axis=-1) * w.scale[:, None]
+
+    # Delay-sensitive deficits: real-time top-up at each hour's price.
+    vprices = w.v[:, None] * w.prices
+    cost = (w.v[:, None] * w.price_lt[:, None] * rates
+            * w.t_slots[:, None]
+            + (vprices[:, None, :] * deficits).sum(axis=-1)
+            * w.scale[:, None])
 
     # Deferred service: surplus slots first (free), then the cheapest
     # observed hours at their real-time prices, respecting headroom.
-    pool = _deferrable_pool(state, scale)
-    served_free = min(surplus_total, pool)
-    leftover_surplus = surplus_total - served_free
-    remaining = pool - served_free
-    if remaining > 0:
-        headroom = max(0.0, state.p_grid - rate) * scale
-        for price in sorted(prices):
-            if remaining <= 0 or headroom <= 0:
-                break
-            bought = min(remaining, headroom)
-            cost += state.v * price * bought
-            remaining -= bought
+    # Buying min(remaining, headroom) per price step drains the pool
+    # by one headroom per step until it runs dry: step k buys
+    # min(headroom, max(0, remaining − k·headroom)).
+    pools = w.pools[:, None]
+    served_free = np.minimum(surplus, pools)
+    leftover = surplus - served_free
+    remaining = pools - served_free
+    headroom = np.maximum(0.0, w.p_grid[:, None] - rates) \
+        * w.scale[:, None]
+    bought = np.minimum(
+        headroom[:, :, None],
+        np.maximum(0.0, remaining[:, :, None]
+                   - _steps(w.n)[None, None, :] * headroom[:, :, None]))
+    waterfall = (np.sort(vprices, axis=1)[:, None, :]
+                 * bought).sum(axis=-1)
+    cost = np.where(w.pools[:, None] > 0, cost + waterfall, cost)
 
     # Queue drift credit for clearing the current backlog.
-    drift_credit = (state.q_hat + state.y_hat) * min(pool, state.q_hat)
-    cost -= drift_credit
+    drift = (w.q_hat + w.y_hat) * np.minimum(w.pools, w.q_hat)
+    cost = cost - drift[:, None]
 
     # Battery tier, then waste.
-    battery_value = -state.x_hat * state.eta_c
-    if battery_value > 0 and state.charge_headroom_total > 0:
-        absorbed = min(leftover_surplus, state.charge_headroom_total)
-        cost -= battery_value * absorbed
-        leftover_surplus -= absorbed
-    cost += state.v * state.waste_penalty * leftover_surplus
-    return cost
+    tier = ((w.battery_value > 0)
+            & (w.headroom_total > 0))[:, None]
+    absorbed = np.minimum(leftover, w.headroom_total[:, None])
+    cost = np.where(tier,
+                    cost - w.battery_value[:, None] * absorbed, cost)
+    leftover = np.where(tier, leftover - absorbed, leftover)
+    return cost + (w.v * w.waste_penalty)[:, None] * leftover
+
+
+def _base_grids(w: _StackedWindows) -> np.ndarray:
+    """Sorted, deduplicated base candidate grids, one row per scenario.
+
+    Each row is ``{floor, Pgrid} ∪ (net profile ∩ [floor, Pgrid])``
+    exactly as :func:`repro.solvers.piecewise.piecewise_candidates_1d`
+    builds it; rows are padded to a common width with duplicates of
+    ``Pgrid``, which are harmless — the selection scan never lets an
+    equal-valued later candidate win.
+    """
+    raw = np.concatenate((w.floors[:, None], w.p_grid[:, None], w.nets),
+                         axis=1)
+    inside = (w.floors[:, None] <= raw) & (raw <= w.p_grid[:, None])
+    work = np.sort(np.where(inside, raw, np.inf), axis=1)
+    work[:, 1:] = np.where(work[:, 1:] == work[:, :-1], np.inf,
+                           work[:, 1:])
+    grid = np.sort(work, axis=1)
+    return np.where(np.isinf(grid), w.p_grid[:, None], grid)
+
+
+def _deferred_breakpoints(w: _StackedWindows,
+                          grids: np.ndarray) -> np.ndarray:
+    """Candidate rates where the deferred-service cost changes slope.
+
+    The per-slot deficit/surplus terms kink only at the net-profile
+    values (already on the base grids), but the deferred-service
+    waterfall and the battery tier kink where
+
+    * the window surplus crosses the deferred pool (``remaining``
+      hits 0; the waste/battery leftover turns on),
+    * ``remaining = k · headroom`` for ``k = 1..n`` (the waterfall
+      stops needing its k-th cheapest hour), and
+    * the leftover surplus crosses the battery's charge headroom,
+
+    all of which move with the candidate rate.  Since ``remaining =
+    pool − min(surplus, pool)``, every waterfall condition rewrites to
+    ``surplus + k·headroom = pool`` — and surplus and headroom are
+    both linear between base candidates, so one sign-flip
+    interpolation pass over the grids locates every crossing exactly.
+    Returns a ``(count, X)`` matrix padded with ``Pgrid`` duplicates
+    (or an empty one when no scenario has a crossing).
+    """
+    gap = w.nets[:, None, :] - grids[:, :, None]
+    deficits = np.maximum(gap, 0.0)
+    surplus = (deficits - gap).sum(axis=-1) * w.scale[:, None]
+    headroom = np.maximum(0.0, w.p_grid[:, None] - grids) \
+        * w.scale[:, None]
+
+    waterfall = (surplus[:, None, :]
+                 + _steps(w.n + 1)[None, :, None] * headroom[:, None, :]
+                 - w.pools[:, None, None])
+    battery = (surplus
+               - (w.pools + w.headroom_total)[:, None])[:, None, :]
+    f = np.concatenate((waterfall, battery), axis=1)
+
+    tier = (w.battery_value > 0) & (w.headroom_total > 0)
+    active = np.concatenate(
+        (np.repeat((w.pools > 0)[:, None], w.n + 1, axis=1),
+         tier[:, None]), axis=1)
+    positive = f > 0.0
+    flips = ((positive[:, :, :-1] != positive[:, :, 1:])
+             & active[:, :, None])
+    scen, row, seg = np.nonzero(flips)
+    if scen.size == 0:
+        return np.empty((w.count, 0))
+
+    f0, f1 = f[scen, row, seg], f[scen, row, seg + 1]
+    r0, r1 = grids[scen, seg], grids[scen, seg + 1]
+    crossings = r0 - f0 * (r1 - r0) / (f1 - f0)
+
+    counts = np.bincount(scen, minlength=w.count)
+    offsets = np.concatenate(([0], np.cumsum(counts)))[:-1]
+    padded = np.repeat(w.p_grid[:, None], int(counts.max()), axis=1)
+    padded[scen, np.arange(scen.size) - offsets[scen]] = crossings
+    return padded
+
+
+def _scan(w: _StackedWindows, candidates: np.ndarray,
+          values: np.ndarray) -> np.ndarray:
+    """Per-scenario selection with the scalar scan's tie-breaking.
+
+    The reference scan accepts a candidate only when it improves the
+    incumbent by more than 1e-12 (earlier candidates keep ties); when
+    no value lies strictly inside ``(min, min + 1e-12]`` that scan
+    provably selects the first minimizer, so argmin covers the common
+    case and ambiguous rows replay the exact cascade.
+    """
+    minimum = values.min(axis=1)
+    rows = values.argmin(axis=1)
+    gap_zone = ((values <= (minimum + 1e-12)[:, None])
+                & (values != minimum[:, None]))
+    for index in np.nonzero(gap_zone.any(axis=1))[0]:
+        best_value = float("inf")
+        best_row = 0
+        for row, value in enumerate(values[index].tolist()):
+            if value < best_value - 1e-12:
+                best_value = value
+                best_row = row
+        rows[index] = best_row
+    return candidates[np.arange(w.count), rows]
+
+
+def _solve_derived(states: Sequence[P4State]) -> list[P4Solution]:
+    """Exact derived-mode minimization for same-window-length states."""
+    w = _stack_windows(states)
+    grids = _base_grids(w)
+    extra = _deferred_breakpoints(w, grids)
+    if extra.shape[1]:
+        candidates = np.sort(np.concatenate((grids, extra), axis=1),
+                             axis=1)
+    else:
+        candidates = grids
+    rates = _scan(w, candidates, _window_values(w, candidates))
+    return [P4Solution(gbef=float(rate) * state.t_slots,
+                       rate=float(rate),
+                       floor_rate=float(floor))
+            for state, rate, floor in zip(states, rates.tolist(),
+                                          w.floors.tolist())]
+
+
+def _window_cost(state: P4State, rate: float) -> float:
+    """Window cost of a single rate (tests and candidate probing)."""
+    w = _stack_windows([state])
+    return float(_window_values(
+        w, np.array([[float(rate)]]))[0, 0])
 
 
 def solve_p4(state: P4State,
              mode: ObjectiveMode = ObjectiveMode.DERIVED) -> P4Solution:
     """Solve the long-term-ahead purchasing subproblem."""
-    floor = min(_floor_rate(state), state.p_grid)
-
     if mode is ObjectiveMode.PAPER:
+        floor = min(_floor_rate(state), state.p_grid)
         coefficient = (state.v * state.price_lt
                        - state.q_hat - state.y_hat)
         rate = state.p_grid if coefficient < 0 else floor
@@ -179,19 +399,30 @@ def solve_p4(state: P4State,
                           floor_rate=floor)
 
     # Derived mode: exact 1-D piecewise-linear minimization over the
-    # delivery rate.  Breakpoints: every per-slot net demand (deficit/
-    # surplus flips) plus a uniform refinement that brackets the
-    # deferred-pool and battery tier boundaries.
-    breakpoints = list(state.net_profile)
-    span = max(state.p_grid, 1e-9)
-    breakpoints.extend(span * i / 64.0 for i in range(65))
-    candidates = piecewise_candidates_1d(floor, state.p_grid, breakpoints)
-    best_rate = floor
-    best_value = float("inf")
-    for rate in candidates:
-        value = _window_cost(state, rate)
-        if value < best_value - 1e-12:
-            best_value = value
-            best_rate = rate
-    return P4Solution(gbef=best_rate * state.t_slots, rate=best_rate,
-                      floor_rate=floor)
+    # delivery rate — the single-scenario case of the batched solver,
+    # so scalar and batch engines share every operation bit-for-bit.
+    return _solve_derived([state])[0]
+
+
+def solve_p4_many(states: Sequence[P4State],
+                  mode: ObjectiveMode = ObjectiveMode.DERIVED,
+                  ) -> list[P4Solution]:
+    """Solve P4 for many scenarios at once, in input order.
+
+    Scenarios are grouped by window length (scenarios advancing in
+    lockstep share it) and each group is evaluated as one tensor pass
+    — this is what keeps a batch simulation's planning stage off the
+    per-scenario Python path.  Results are identical to per-scenario
+    :func:`solve_p4` calls.
+    """
+    if mode is ObjectiveMode.PAPER:
+        return [solve_p4(state, mode) for state in states]
+    groups: dict[int, list[int]] = {}
+    for index, state in enumerate(states):
+        groups.setdefault(len(state.net_profile), []).append(index)
+    solutions: list[P4Solution | None] = [None] * len(states)
+    for indices in groups.values():
+        solved = _solve_derived([states[i] for i in indices])
+        for index, solution in zip(indices, solved):
+            solutions[index] = solution
+    return solutions  # type: ignore[return-value]

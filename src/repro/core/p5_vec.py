@@ -1,0 +1,239 @@
+"""Vectorized P5 — real-time balancing for a batch of scenarios.
+
+Array-form twin of :mod:`repro.core.p5`: solves the per-slot
+``(grt, γ)`` subproblem for ``B`` independent scenarios at once.  The
+scalar solver is exact vertex enumeration over a parallel-line
+subdivision of a box; the structure is identical for every scenario
+(≤ 17 candidate vertices: 4 box corners, 3 breakpoint lines × 4 box
+edges, 1 emergency point), so the batch solver materializes the same
+candidates as ``(B,)`` arrays, evaluates the exact objective on all
+scenarios per candidate, and scans with the scalar's tie-breaking rule
+(a candidate wins only by improving the incumbent by more than 1e-12,
+earlier candidates keeping ties).
+
+Exactness contract: candidate order, validity conditions, clipping and
+every objective expression replicate :func:`repro.core.p5.solve_p5`,
+:func:`repro.core.modes.resolve_physics` and the two objective
+variants operation-for-operation, so the selected actions are
+bit-identical to ``B`` scalar solves.  Candidates that the scalar
+enumeration would not generate (an out-of-box intersection, a
+zero-capacity breakpoint line) carry a validity mask and evaluate to
+``+inf`` so they can never win the scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.control import ObjectiveMode
+
+#: Tolerances shared with the scalar solver (see repro.core.modes).
+_UNSERVED_TOL = 1e-9
+_BALANCE_TOL = 1e-12
+
+
+@dataclass
+class BatchSlotState:
+    """Array form of :class:`repro.core.modes.SlotState`.
+
+    Every field is a ``(B,)`` float array; semantics (normalization,
+    frozen Lyapunov weights versus live physical state) are identical
+    to the scalar record.
+    """
+
+    q_hat: np.ndarray
+    y_hat: np.ndarray
+    x_hat: np.ndarray
+    v: np.ndarray
+    price_rt: np.ndarray
+    battery_op_cost: np.ndarray
+    waste_penalty: np.ndarray
+    backlog: np.ndarray
+    gbef_rate: np.ndarray
+    renewable: np.ndarray
+    demand_ds: np.ndarray
+    charge_cap: np.ndarray
+    discharge_cap: np.ndarray
+    eta_c: np.ndarray
+    eta_d: np.ndarray
+    s_dt_max: np.ndarray
+    grt_cap: np.ndarray
+    battery_margin: np.ndarray
+
+
+def _resolve_physics_batch(state: BatchSlotState, grt: np.ndarray,
+                           gamma: np.ndarray):
+    """Vector twin of :func:`repro.core.modes.resolve_physics`."""
+    sdt = np.minimum(gamma * state.backlog, state.s_dt_max)
+    supply = state.gbef_rate + grt + state.renewable
+    net = supply - state.demand_ds - sdt
+    net = np.where(np.abs(net) < _BALANCE_TOL, 0.0, net)
+    positive = net >= 0.0
+    charge = np.where(positive, np.minimum(net, state.charge_cap), 0.0)
+    waste = np.where(positive, net - charge, 0.0)
+    deficit = -net
+    discharge = np.where(positive, 0.0,
+                         np.minimum(deficit, state.discharge_cap))
+    unserved = np.where(positive, 0.0, deficit - discharge)
+    return sdt, charge, discharge, waste, unserved
+
+
+def _objective_batch(state: BatchSlotState, mode: ObjectiveMode,
+                     grt: np.ndarray, gamma: np.ndarray,
+                     valid: np.ndarray) -> np.ndarray:
+    """Exact objective per scenario; ``+inf`` where invalid/infeasible."""
+    sdt, charge, discharge, waste, unserved = _resolve_physics_batch(
+        state, grt, gamma)
+    active = (charge > 0.0) | (discharge > 0.0)
+    n_cost = np.where(active, state.v * state.battery_op_cost, 0.0)
+    if mode is ObjectiveMode.PAPER:
+        value = (grt * (state.v * state.price_rt - state.q_hat
+                        - state.y_hat)
+                 + gamma * (state.q_hat ** 2
+                            - state.q_hat * state.y_hat)
+                 + n_cost
+                 + state.v * state.waste_penalty * waste
+                 + (state.q_hat + state.x_hat + state.y_hat)
+                 * (charge - discharge))
+    else:
+        margin_cost = (state.v * state.battery_margin
+                       * (charge + discharge))
+        value = (state.v * state.price_rt * grt
+                 + n_cost
+                 + margin_cost
+                 + state.v * state.waste_penalty * waste
+                 - (state.q_hat + state.y_hat) * sdt
+                 + state.x_hat * (state.eta_c * charge
+                                  - state.eta_d * discharge))
+    return np.where(valid & ~(unserved > _UNSERVED_TOL), value, np.inf)
+
+
+#: Fixed candidate-matrix height: 4 box corners, 3 breakpoint lines ×
+#: 4 box edges, and the emergency point.
+N_CANDIDATES = 17
+
+#: Lane-index cache keyed by batch size (one gather per slot).
+_LANE_CACHE: dict[int, np.ndarray] = {}
+
+
+def _lanes(n: int) -> np.ndarray:
+    lanes = _LANE_CACHE.get(n)
+    if lanes is None:
+        lanes = _LANE_CACHE[n] = np.arange(n)
+    return lanes
+
+
+def _candidates_batch(state: BatchSlotState):
+    """The scalar enumeration's candidates, stacked as ``(17, B)``.
+
+    Rows follow exactly the order ``solve_p5`` builds them: 4 box
+    corners, then for each net-surplus intercept (0, charge cap,
+    −discharge cap) its intersections with the two horizontal and two
+    vertical box edges, then the emergency candidate.  Per-scenario
+    conditionals of the scalar code (an intercept only existing when
+    its capacity is positive, an intersection only kept when inside
+    the box) become entries of the validity mask.
+    """
+    n = state.backlog.shape[0]
+    grt = np.zeros((N_CANDIDATES, n))
+    gamma = np.zeros((N_CANDIDATES, n))
+    valid = np.ones((N_CANDIDATES, n), dtype=bool)
+
+    # A denormal-tiny backlog overflows the division to +inf exactly as
+    # the scalar code's does; the min() clamp makes the warning moot.
+    with np.errstate(over="ignore"):
+        gamma_hi = np.where(
+            state.backlog <= 0.0, 1.0,
+            np.minimum(1.0, state.s_dt_max
+                       / np.where(state.backlog > 0.0,
+                                  state.backlog, 1.0)))
+    grt_hi = np.maximum(0.0, state.grt_cap)
+    slope = state.backlog
+    slope_ok = np.abs(slope) > 1e-15
+    safe_slope = np.where(slope_ok, slope, 1.0)
+    base = state.gbef_rate + state.renewable - state.demand_ds
+
+    gamma[1] = gamma_hi
+    grt[2] = grt_hi
+    grt[3] = grt_hi
+    gamma[3] = gamma_hi
+
+    # The three breakpoint lines as one (3, B) block: intercepts at net
+    # surplus 0, +charge cap, −discharge cap (rows 2-3 only "present"
+    # when the capacity is positive).
+    intercept = np.empty((3, n))
+    intercept[0] = 0.0 - base
+    intercept[1] = state.charge_cap - base
+    intercept[2] = -state.discharge_cap - base
+    present = np.ones((3, n), dtype=bool)
+    present[1] = state.charge_cap > 0.0
+    present[2] = state.discharge_cap > 0.0
+
+    # Intersections with the two horizontal edges (γ = 0, γ = γ_hi) —
+    # rows 4+4i and 5+4i for intercept i — computed as one (2, 3, B)
+    # block (edge × intercept × scenario), and likewise the vertical
+    # edges (grt = 0, grt = grt_hi) for rows 6+4i and 7+4i.
+    gamma_edges = np.stack((np.zeros_like(gamma_hi), gamma_hi))
+    grt_raw = slope * gamma_edges[:, None, :] + intercept
+    h_valid = (present & (-1e-12 <= grt_raw)
+               & (grt_raw <= grt_hi + 1e-12))
+    h_clip = np.minimum(np.maximum(grt_raw, 0.0), grt_hi)
+    valid[4:16:4], valid[5:16:4] = h_valid
+    grt[4:16:4], grt[5:16:4] = h_clip
+    gamma[5:16:4] = gamma_hi
+
+    grt_edges = np.stack((np.zeros_like(grt_hi), grt_hi))
+    gamma_raw = (grt_edges[:, None, :] - intercept) / safe_slope
+    v_valid = (present & slope_ok & (-1e-12 <= gamma_raw)
+               & (gamma_raw <= gamma_hi + 1e-12))
+    v_clip = np.minimum(np.maximum(gamma_raw, 0.0), gamma_hi)
+    valid[6:16:4], valid[7:16:4] = v_valid
+    gamma[6:16:4], gamma[7:16:4] = v_clip
+    grt[7:16:4] = grt_hi
+
+    needed = np.maximum(0.0, state.demand_ds - state.gbef_rate
+                        - state.renewable - state.discharge_cap)
+    grt[16] = np.minimum(needed, grt_hi)
+    return grt_hi, grt, gamma, valid
+
+
+def solve_p5_batch(state: BatchSlotState, mode: ObjectiveMode
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Solve P5 for every scenario; returns ``(grt, gamma)`` arrays.
+
+    The physics and objective evaluate once on the whole ``(17, B)``
+    candidate matrix (elementwise, so bit-identical per lane to the
+    scalar evaluations); the selection scan then walks the 17 rows
+    with the scalar tie-breaking rule.  Scenarios where no candidate
+    is feasible fall back to the scalar solver's emergency action (buy
+    everything, serve nothing deferrable) — those entries are the
+    scan's untouched initial values, so no separate pass is needed.
+    """
+    grt_hi, grt, gamma, valid = _candidates_batch(state)
+    values = _objective_batch(state, mode, grt, gamma, valid)
+    n = state.backlog.shape[0]
+
+    # The scalar scan accepts a candidate only when it improves the
+    # incumbent by more than 1e-12 (earlier candidates keep ties).
+    # When no candidate value lies strictly between the minimum m and
+    # m + 1e-12, that scan provably selects the *first* minimizer —
+    # argmin's convention — so the common case needs no loop.  Lanes
+    # with a value in that gap zone replay the exact scalar cascade.
+    minimum = values.min(axis=0)
+    rows = values.argmin(axis=0)
+    gap_zone = (values <= minimum + 1e-12) & (values != minimum)
+    # Row 2 is exactly the emergency fallback action (grt_hi, 0) the
+    # scalar solver returns when every candidate is infeasible.
+    np.copyto(rows, 2, where=~np.isfinite(minimum))
+    for lane in np.nonzero(gap_zone.any(axis=0))[0]:
+        best_value = np.inf
+        best_row = 2
+        for row, value in enumerate(values[:, lane].tolist()):
+            if value < best_value - 1e-12:
+                best_value = value
+                best_row = row
+        rows[lane] = best_row
+    lanes = _lanes(n)
+    return grt[rows, lanes], gamma[rows, lanes]

@@ -34,7 +34,7 @@ from repro.core.interfaces import (
     RealTimeDecision,
     SlotFeedback,
 )
-from repro.core.p4 import P4State, solve_p4
+from repro.core.p4 import P4Solution, P4State, solve_p4
 from repro.core.p5 import SlotState, solve_p5
 from repro.core.virtual_queues import (
     BatteryVirtualQueue,
@@ -146,6 +146,21 @@ class SmartDPSS(Controller):
         self._planned_rate = 0.0
 
     def plan_long_term(self, obs: CoarseObservation) -> float:
+        state = self.prepare_plan(obs)
+        if state is None:
+            return 0.0
+        return self.commit_plan(
+            solve_p4(state, self.config.objective_mode))
+
+    def prepare_plan(self, obs: CoarseObservation) -> P4State | None:
+        """Freeze the interval weights and build the P4 subproblem.
+
+        Everything :meth:`plan_long_term` does *except* solving P4 —
+        split out so the batch engine can pool many scenarios' P4
+        solves into one call (:func:`repro.core.p4.solve_p4_many`).
+        Returns ``None`` when the long-term market is disabled (the
+        plan is then a zero purchase and there is nothing to solve).
+        """
         assert self.system is not None, "begin_horizon() not called"
         system = self.system
         price_lt = self._normalize(obs.price_lt)
@@ -180,9 +195,9 @@ class SmartDPSS(Controller):
 
         if not self.config.use_long_term_market:
             self._planned_rate = 0.0
-            return 0.0
+            return None
 
-        state = P4State(
+        return P4State(
             v=self.config.v,
             price_lt=price_lt,
             q_hat=self._q_hat,
@@ -201,11 +216,13 @@ class SmartDPSS(Controller):
             profile_demand_ds=obs.profile_demand_ds,
             profile_demand_dt=obs.profile_demand_dt,
             profile_renewable=obs.profile_renewable,
-            profile_price_rt=tuple(self._normalize(p)
-                                   for p in obs.profile_price_rt),
+            profile_price_rt=tuple(
+                [self._normalize(p) for p in obs.profile_price_rt]),
             plan_deferrable_arrivals=self.config.plan_deferrable_arrivals,
         )
-        solution = solve_p4(state, self.config.objective_mode)
+
+    def commit_plan(self, solution: P4Solution) -> float:
+        """Record a solved plan; returns the advance purchase."""
         self._planned_rate = solution.rate
         return solution.gbef
 

@@ -1,0 +1,248 @@
+"""Vectorized SmartDPSS — Algorithm 1 over a batch of scenarios.
+
+:class:`VecSmartDPSS` drives ``B`` independent SmartDPSS controllers in
+lockstep for the batch simulation engine
+(:mod:`repro.sim.batch`).  The split follows the algorithm's own
+two-timescale structure:
+
+* **Real-time balancing (every fine slot — the hot path)** runs fully
+  vectorized: price normalization, the streaming price mean, battery
+  caps and the exact P5 vertex enumeration
+  (:func:`repro.core.p5_vec.solve_p5_batch`) all advance as ``(B,)``
+  arrays with no per-scenario Python dispatch.
+
+* **Long-term planning (once per coarse slot)** runs through ``B``
+  genuine scalar :class:`~repro.core.smartdpss.SmartDPSS` instances:
+  the vectorized state (virtual queues, price mean) is written into
+  each instance, ``prepare_plan`` runs unchanged (weight freezing,
+  shift-point selection, bound computation — every branch of the
+  scalar code), and the frozen Lyapunov weights are read back into
+  arrays.  The P4 *solves* — the expensive part of planning — are
+  then pooled into one :func:`~repro.core.p4.solve_p4_many` tensor
+  pass, whose single-scenario case is exactly ``solve_p4``; there is
+  no second P4 implementation to drift.
+
+Exactness contract: a batch of ``B`` scenarios produces bit-identical
+decisions to ``B`` scalar ``SmartDPSS`` runs (enforced by
+``tests/equivalence/``).  Scenario configs may differ in any numeric
+parameter (``V``, ``ε``, price scale, margin) and in per-scenario
+flags handled at planning time; only ``objective_mode`` must agree
+across the batch because it selects the vectorized P5 objective.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config.control import SmartDPSSConfig
+from repro.config.system import SystemConfig
+from repro.core.interfaces import CoarseObservation
+from repro.core.p4 import solve_p4_many
+from repro.core.p5_vec import BatchSlotState, solve_p5_batch
+from repro.core.smartdpss import SmartDPSS
+from repro.exceptions import ConfigurationError
+
+
+class VecSmartDPSS:
+    """Batch controller advancing ``B`` SmartDPSS policies in lockstep.
+
+    Parameters
+    ----------
+    controllers:
+        One scalar :class:`SmartDPSS` per scenario.  The instances are
+        real — they hold the per-scenario planning state and remain
+        inspectable (frozen weights, virtual queues) after a run —
+        but their per-slot path is bypassed by the vectorized P5.
+    """
+
+    def __init__(self, controllers: Sequence[SmartDPSS]):
+        if not controllers:
+            raise ValueError("need at least one controller")
+        self.controllers = list(controllers)
+        modes = {c.config.objective_mode for c in self.controllers}
+        if len(modes) > 1:
+            raise ConfigurationError(
+                f"batch requires one objective mode, got {sorted(m.value for m in modes)}")
+        self.mode = self.controllers[0].config.objective_mode
+        self._n = len(self.controllers)
+
+    @classmethod
+    def from_configs(cls, configs: Sequence[SmartDPSSConfig | None]
+                     ) -> "VecSmartDPSS":
+        """Build from configs (``None`` entries get the defaults)."""
+        return cls([SmartDPSS(config) for config in configs])
+
+    # ------------------------------------------------------------------
+    # Batch controller protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def names(self) -> list[str]:
+        """Per-scenario policy names for result records."""
+        return [c.name for c in self.controllers]
+
+    def begin_horizon(self, systems: Sequence[SystemConfig]) -> None:
+        if len(systems) != self._n:
+            raise ValueError(
+                f"{len(systems)} systems for {self._n} controllers")
+        n = self._n
+
+        def pull(get) -> np.ndarray:
+            return np.array([float(get(i)) for i in range(n)])
+
+        for controller, system in zip(self.controllers, systems):
+            controller.begin_horizon(system)
+
+        configs = [c.config for c in self.controllers]
+        self._v = pull(lambda i: configs[i].v)
+        self._epsilon = pull(lambda i: configs[i].epsilon)
+        self._price_scale = pull(lambda i: configs[i].price_scale)
+        self._use_battery = np.array(
+            [bool(configs[i].use_battery) for i in range(n)])
+        # Normalized controller-unit prices, as the scalar code computes
+        # them per observation (here hoisted: the factors are constant).
+        self._margin_n = pull(
+            lambda i: configs[i].battery_price_margin
+            / configs[i].price_scale)
+        self._op_cost_n = pull(
+            lambda i: systems[i].battery_op_cost / configs[i].price_scale)
+        self._waste_n = pull(
+            lambda i: systems[i].waste_penalty / configs[i].price_scale)
+        self._b_max = pull(lambda i: systems[i].b_max)
+        self._b_min = pull(lambda i: systems[i].b_min)
+        self._b_charge_max = pull(lambda i: systems[i].b_charge_max)
+        self._b_discharge_max = pull(lambda i: systems[i].b_discharge_max)
+        self._eta_c = pull(lambda i: systems[i].eta_c)
+        self._eta_d = pull(lambda i: systems[i].eta_d)
+        self._s_dt_max = pull(lambda i: systems[i].s_dt_max)
+
+        # Vectorized live state (mirrors the scalar instances').
+        self._y = np.zeros(n)
+        self._y_peak = np.zeros(n)
+        self._rt_sum = np.zeros(n)
+        self._rt_count = 0
+        self._q_hat = np.zeros(n)
+        self._y_hat = np.zeros(n)
+        self._x_hat = np.zeros(n)
+        self._shift = np.zeros(n)
+        self._x_value = np.zeros(n)
+        self._x_min = np.full(n, np.inf)
+        self._x_max = np.full(n, -np.inf)
+        self._x_seen = False
+
+    # -- planning (per coarse slot; delegates to the scalar instances) --
+
+    def _sync_into(self, index: int, controller: SmartDPSS) -> None:
+        """Write the vectorized live state into one scalar instance."""
+        mean = controller._rt_price_mean
+        mean._sum = float(self._rt_sum[index])
+        mean._count = self._rt_count
+        controller._y_queue._value = float(self._y[index])
+        controller._y_queue._peak = float(self._y_peak[index])
+        x_queue = controller._x_queue
+        x_queue.shift = float(self._shift[index])
+        if self._x_seen:
+            x_queue._value = float(self._x_value[index])
+            x_queue._min_seen = float(self._x_min[index])
+            x_queue._max_seen = float(self._x_max[index])
+
+    def _sync_from(self, index: int, controller: SmartDPSS) -> None:
+        """Read one scalar instance's post-plan state back into arrays."""
+        self._q_hat[index], self._y_hat[index], self._x_hat[index] = \
+            controller.frozen_weights
+        x_queue = controller._x_queue
+        self._shift[index] = x_queue.shift
+        self._x_value[index] = x_queue._value
+        self._x_min[index] = x_queue._min_seen
+        self._x_max[index] = x_queue._max_seen
+
+    def plan_long_term(self, observations: Sequence[CoarseObservation]
+                       ) -> np.ndarray:
+        """Plan every scenario's advance purchase ``gbef(t)``.
+
+        Per-scenario preparation (weight freezing, shift selection,
+        P4 subproblem construction) runs through the scalar instances;
+        the P4 solves themselves — the expensive part — are pooled
+        into one :func:`~repro.core.p4.solve_p4_many` tensor pass.
+        """
+        gbef = np.zeros(self._n)
+        states = []
+        pending = []
+        for index, (controller, obs) in enumerate(
+                zip(self.controllers, observations)):
+            self._sync_into(index, controller)
+            state = controller.prepare_plan(obs)
+            self._sync_from(index, controller)
+            if state is not None:
+                states.append(state)
+                pending.append(index)
+        self._x_seen = True
+        if states:
+            solutions = solve_p4_many(states, self.mode)
+            for index, solution in zip(pending, solutions):
+                gbef[index] = float(
+                    self.controllers[index].commit_plan(solution))
+        return gbef
+
+    # -- real-time balancing (per fine slot; fully vectorized) ---------
+
+    def real_time(self, obs) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized twin of :meth:`SmartDPSS.real_time`."""
+        price_rt = obs.price_rt / self._price_scale
+        self._rt_sum += price_rt
+        self._rt_count += 1
+
+        battery_usable = self._use_battery & (obs.cycle_budget_left != 0)
+        charge_room = (np.maximum(0.0, self._b_max - obs.battery_level)
+                       / self._eta_c)
+        charge_cap = np.where(
+            battery_usable,
+            np.minimum(self._b_charge_max, charge_room), 0.0)
+        discharge_room = (np.maximum(0.0,
+                                     obs.battery_level - self._b_min)
+                          / self._eta_d)
+        discharge_cap = np.where(
+            battery_usable,
+            np.minimum(self._b_discharge_max, discharge_room), 0.0)
+
+        state = BatchSlotState(
+            q_hat=self._q_hat,
+            y_hat=self._y_hat,
+            x_hat=self._x_hat,
+            v=self._v,
+            price_rt=price_rt,
+            battery_op_cost=self._op_cost_n,
+            waste_penalty=self._waste_n,
+            backlog=obs.backlog,
+            gbef_rate=obs.long_term_rate,
+            renewable=obs.renewable,
+            demand_ds=obs.demand_ds,
+            charge_cap=charge_cap,
+            discharge_cap=discharge_cap,
+            eta_c=self._eta_c,
+            eta_d=self._eta_d,
+            s_dt_max=self._s_dt_max,
+            grt_cap=np.minimum(obs.grid_headroom, obs.supply_headroom),
+            battery_margin=self._margin_n,
+        )
+        return solve_p5_batch(state, self.mode)
+
+    def end_slot(self, feedback) -> None:
+        """Vectorized queue updates (eq. 12 and the battery tracker)."""
+        growth = np.where(feedback.had_backlog, self._epsilon, 0.0)
+        self._y = np.maximum(self._y - feedback.served_dt + growth, 0.0)
+        self._y_peak = np.maximum(self._y_peak, self._y)
+        self._x_value = feedback.battery_level - self._shift
+        self._x_min = np.minimum(self._x_min, self._x_value)
+        self._x_max = np.maximum(self._x_max, self._x_value)
+
+    def finalize(self) -> None:
+        """Write the final vectorized state back into the instances.
+
+        Called once at the end of a batch run so post-run introspection
+        (virtual queue peaks, price means) matches a scalar run.
+        """
+        for index, controller in enumerate(self.controllers):
+            self._sync_into(index, controller)

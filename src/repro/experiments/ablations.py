@@ -26,9 +26,13 @@ from repro.baselines.myopic import MyopicPriceThreshold
 from repro.config.control import ObjectiveMode
 from repro.config.presets import paper_controller_config, paper_system_config
 from repro.core.smartdpss import SmartDPSS
-from repro.experiments.common import Scenario, build_scenario
+from repro.experiments.common import (
+    Scenario,
+    build_scenario,
+    simulate_runs,
+)
 from repro.rng import DEFAULT_SEED
-from repro.sim.engine import Simulator
+from repro.sim.batch import RunSpec
 
 
 @dataclass(frozen=True)
@@ -54,66 +58,75 @@ class AblationResult:
         return [r for r in self.rows if r.study == name]
 
 
-def _run(scenario: Scenario, controller, system=None) -> AblationRow:
-    result = Simulator(system or scenario.system, controller,
-                       scenario.traces).run()
-    return result
+def _spec(scenario: Scenario, controller, system=None) -> RunSpec:
+    return RunSpec(system=system or scenario.system,
+                   controller=controller, traces=scenario.traces)
 
 
 def run_ablations(seed: int = DEFAULT_SEED, days: int = 31,
                   ) -> AblationResult:
-    """Run every ablation study on the shared scenario."""
-    scenario = build_scenario(seed=seed, days=days)
-    rows: list[AblationRow] = []
+    """Run every ablation study on the shared scenario.
 
-    def record(study: str, label: str, result) -> None:
-        rows.append(AblationRow(
-            study=study, label=label,
-            time_avg_cost=result.time_average_cost,
-            avg_delay_slots=result.average_delay_slots,
-            availability=result.availability,
-            battery_ops=result.battery_operations))
+    All settings are declared up front and executed as one fleet; the
+    batch executor groups the compatible SmartDPSS runs per objective
+    mode and drives the heterodox baselines through the scalar
+    adapter.
+    """
+    scenario = build_scenario(seed=seed, days=days)
+    labels: list[tuple[str, str]] = []
+    specs: list[RunSpec] = []
+
+    def add(study: str, label: str, spec: RunSpec) -> None:
+        labels.append((study, label))
+        specs.append(spec)
 
     # Abl-1: objective mode.
     for mode in (ObjectiveMode.DERIVED, ObjectiveMode.PAPER):
         config = paper_controller_config(objective_mode=mode)
-        result = _run(scenario, SmartDPSS(config))
-        record("objective", mode.value, result)
+        add("objective", mode.value, _spec(scenario, SmartDPSS(config)))
 
     # Abl-2: cycle budget Nmax.
     for budget in (None, 310, 106, 31):
         system = paper_system_config(days=days, cycle_budget=budget)
-        result = _run(scenario, SmartDPSS(paper_controller_config()),
-                      system=system)
-        record("cycle_budget",
-               "unbounded" if budget is None else str(budget), result)
+        add("cycle_budget",
+            "unbounded" if budget is None else str(budget),
+            _spec(scenario, SmartDPSS(paper_controller_config()),
+                  system=system))
 
     # Abl-3: battery trade margin.
     for margin in (0.0, 3.0, 10.0):
         config = paper_controller_config().replace(
             battery_price_margin=margin)
-        result = _run(scenario, SmartDPSS(config))
-        record("battery_margin", f"{margin:g} $/MWh", result)
+        add("battery_margin", f"{margin:g} $/MWh",
+            _spec(scenario, SmartDPSS(config)))
 
     # Abl-4: P4 deferrable-arrivals planning.
     for plan_arrivals in (False, True):
         config = paper_controller_config().replace(
             plan_deferrable_arrivals=plan_arrivals)
-        result = _run(scenario, SmartDPSS(config))
-        record("p4_arrivals", "plan" if plan_arrivals else "defer",
-               result)
+        add("p4_arrivals", "plan" if plan_arrivals else "defer",
+            _spec(scenario, SmartDPSS(config)))
 
     # Abl-5: extra baselines — generic price-awareness (myopic) and
     # forecast-oracle MPC variants (what a perfect short-term
     # forecast would buy; paper Section VII's comparison axis).
-    result = _run(scenario, MyopicPriceThreshold())
-    record("baseline", "myopic-threshold", result)
-    result = _run(scenario, LookaheadController(scenario.traces))
-    record("baseline", "lookahead-oracle", result)
-    result = _run(scenario, PaperP2Offline(scenario.traces))
-    record("baseline", "paper-P2-offline", result)
+    add("baseline", "myopic-threshold",
+        _spec(scenario, MyopicPriceThreshold()))
+    add("baseline", "lookahead-oracle",
+        _spec(scenario, LookaheadController(scenario.traces)))
+    add("baseline", "paper-P2-offline",
+        _spec(scenario, PaperP2Offline(scenario.traces)))
 
-    return AblationResult(rows=tuple(rows))
+    results = simulate_runs(specs)
+    rows = tuple(
+        AblationRow(
+            study=study, label=label,
+            time_avg_cost=result.time_average_cost,
+            avg_delay_slots=result.average_delay_slots,
+            availability=result.availability,
+            battery_ops=result.battery_operations)
+        for (study, label), result in zip(labels, results))
+    return AblationResult(rows=rows)
 
 
 def render(result: AblationResult) -> str:

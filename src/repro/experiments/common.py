@@ -8,7 +8,9 @@ VI-A, and exposes small run helpers returning
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.baselines import ImpatientController, OfflineOptimal
 from repro.config.control import SmartDPSSConfig
@@ -16,10 +18,37 @@ from repro.config.presets import paper_controller_config, paper_system_config
 from repro.config.system import SystemConfig
 from repro.core.smartdpss import SmartDPSS
 from repro.rng import DEFAULT_SEED
-from repro.sim.engine import Simulator
+from repro.sim.batch import RunSpec, simulate_many
 from repro.sim.results import SimulationResult
 from repro.traces.base import TraceSet
 from repro.traces.library import make_paper_traces
+
+#: Environment variable overriding the experiments' executor choice
+#: (``serial`` | ``batch`` | ``process``).  Experiments default to the
+#: vectorized batch engine, which produces bit-identical results to
+#: serial runs (enforced by tests/equivalence/).
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+
+def default_executor() -> str:
+    """Executor the experiment modules use (env-overridable)."""
+    return os.environ.get(EXECUTOR_ENV, "batch")
+
+
+def simulate_runs(runs: Sequence[RunSpec],
+                  executor: str | None = None,
+                  max_workers: int | None = None
+                  ) -> list[SimulationResult]:
+    """Run a figure's whole fleet of simulations, in input order.
+
+    The single seam every ``fig*`` module funnels its runs through:
+    one call hands the complete (value × seed) fleet to
+    :func:`repro.sim.batch.simulate_many`, which advances compatible
+    runs in vectorized lockstep (or serially / on a process pool, per
+    ``executor``).
+    """
+    return simulate_many(runs, executor=executor or default_executor(),
+                         max_workers=max_workers)
 
 #: V values of the paper's Fig. 6(a,b) sweep.
 PAPER_V_SWEEP = (0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0)
@@ -66,27 +95,49 @@ def build_scenario(seed: int = DEFAULT_SEED,
     return Scenario(system=system, traces=traces, seed=seed)
 
 
+def spec_smartdpss(scenario: Scenario,
+                   config: SmartDPSSConfig | None = None,
+                   observed: TraceSet | None = None,
+                   system: SystemConfig | None = None) -> RunSpec:
+    """A SmartDPSS run spec (optionally with noisy observations)."""
+    return RunSpec(system=system or scenario.system,
+                   controller=SmartDPSS(config or paper_controller_config()),
+                   traces=scenario.traces, observed=observed)
+
+
+def spec_impatient(scenario: Scenario,
+                   system: SystemConfig | None = None) -> RunSpec:
+    """An Impatient-baseline run spec."""
+    return RunSpec(system=system or scenario.system,
+                   controller=ImpatientController(),
+                   traces=scenario.traces)
+
+
+def spec_offline(scenario: Scenario,
+                 system: SystemConfig | None = None) -> RunSpec:
+    """A clairvoyant offline-benchmark run spec."""
+    return RunSpec(system=system or scenario.system,
+                   controller=OfflineOptimal(scenario.traces),
+                   traces=scenario.traces)
+
+
 def run_smartdpss(scenario: Scenario,
                   config: SmartDPSSConfig | None = None,
                   observed: TraceSet | None = None,
                   system: SystemConfig | None = None,
                   ) -> SimulationResult:
     """Run SmartDPSS on a scenario (optionally with noisy observations)."""
-    controller = SmartDPSS(config or paper_controller_config())
-    return Simulator(system or scenario.system, controller,
-                     scenario.traces, observed=observed).run()
+    return simulate_runs([spec_smartdpss(scenario, config,
+                                         observed, system)])[0]
 
 
 def run_impatient(scenario: Scenario,
                   system: SystemConfig | None = None) -> SimulationResult:
     """Run the Impatient baseline on a scenario."""
-    return Simulator(system or scenario.system, ImpatientController(),
-                     scenario.traces).run()
+    return simulate_runs([spec_impatient(scenario, system)])[0]
 
 
 def run_offline(scenario: Scenario,
                 system: SystemConfig | None = None) -> SimulationResult:
     """Run the clairvoyant offline benchmark on a scenario."""
-    controller = OfflineOptimal(scenario.traces)
-    return Simulator(system or scenario.system, controller,
-                     scenario.traces).run()
+    return simulate_runs([spec_offline(scenario, system)])[0]

@@ -19,9 +19,13 @@ from dataclasses import dataclass
 from repro.analysis.tables import format_table
 from repro.config.presets import paper_controller_config
 from repro.core.smartdpss import SmartDPSS
-from repro.experiments.common import PAPER_BETA_SWEEP, build_scenario
+from repro.experiments.common import (
+    PAPER_BETA_SWEEP,
+    build_scenario,
+    simulate_runs,
+)
 from repro.rng import DEFAULT_SEED
-from repro.sim.engine import Simulator
+from repro.sim.batch import RunSpec
 from repro.traces.scaling import expand_system
 
 
@@ -54,20 +58,19 @@ class Fig10Result:
 def run_fig10(seed: int = DEFAULT_SEED,
               beta_values: tuple[float, ...] = PAPER_BETA_SWEEP,
               days: int = 31) -> Fig10Result:
-    """Run the expansion sweep (battery fixed, grid scaled)."""
-    scenario = build_scenario(seed=seed, days=days)
+    """Run the expansion sweep (battery fixed, grid scaled).
+
+    Every β shares the two-timescale shape, so the whole sweep is one
+    vectorized batch; :func:`build_fig10_specs` also feeds the batch
+    engine's scaling benchmark (``benchmarks/bench_batch.py``), which
+    replicates this fleet across seeds.
+    """
+    specs = build_fig10_specs(seed=seed, beta_values=beta_values,
+                              days=days)
+    results = simulate_runs(specs)
     rows = []
-    for beta in beta_values:
-        traces = expand_system(scenario.traces, beta)
-        system = scenario.system.replace(
-            p_grid=scenario.system.p_grid * beta,
-            s_max=scenario.system.s_max * beta,
-            d_dt_max=scenario.system.d_dt_max * beta,
-            s_dt_max=scenario.system.s_dt_max * beta,
-        )
-        controller = SmartDPSS(paper_controller_config())
-        result = Simulator(system, controller, traces).run()
-        demand = float(traces.demand_total.sum())
+    for spec, beta, result in zip(specs, beta_values, results):
+        demand = float(spec.traces.demand_total.sum())
         rows.append(Fig10Row(
             beta=beta,
             time_avg_cost=result.time_average_cost,
@@ -76,6 +79,27 @@ def run_fig10(seed: int = DEFAULT_SEED,
             availability=result.availability,
         ))
     return Fig10Result(rows=tuple(rows))
+
+
+def build_fig10_specs(seed: int = DEFAULT_SEED,
+                      beta_values: tuple[float, ...] = PAPER_BETA_SWEEP,
+                      days: int = 31) -> list[RunSpec]:
+    """Run specs of the Fig. 10 expansion sweep for one seed."""
+    scenario = build_scenario(seed=seed, days=days)
+    specs = []
+    for beta in beta_values:
+        traces = expand_system(scenario.traces, beta)
+        system = scenario.system.replace(
+            p_grid=scenario.system.p_grid * beta,
+            s_max=scenario.system.s_max * beta,
+            d_dt_max=scenario.system.d_dt_max * beta,
+            s_dt_max=scenario.system.s_dt_max * beta,
+        )
+        specs.append(RunSpec(system=system,
+                             controller=SmartDPSS(
+                                 paper_controller_config()),
+                             traces=traces))
+    return specs
 
 
 def render(result: Fig10Result) -> str:

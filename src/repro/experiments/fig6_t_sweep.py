@@ -22,7 +22,8 @@ from repro.experiments.common import (
     PAPER_T_SWEEP,
     PAPER_T_SWEEP_DAYS,
     build_scenario,
-    run_smartdpss,
+    simulate_runs,
+    spec_smartdpss,
 )
 from repro.rng import DEFAULT_SEED
 
@@ -57,12 +58,20 @@ class Fig6TResult:
 def run_fig6_t(seed: int = DEFAULT_SEED,
                t_values: tuple[int, ...] = PAPER_T_SWEEP,
                days: int = PAPER_T_SWEEP_DAYS) -> Fig6TResult:
-    """Run the T sweep (one scenario rebuild per T)."""
+    """Run the T sweep (one scenario rebuild per T).
+
+    Each ``T`` changes the two-timescale shape, so the runs cannot
+    share one vectorized batch and the default executor falls back to
+    scalar runs; setting ``REPRO_EXECUTOR=process`` fans them out
+    across cores instead.
+    """
+    specs = [spec_smartdpss(
+        build_scenario(seed=seed, days=days,
+                       fine_slots_per_coarse=t_slots),
+        paper_controller_config()) for t_slots in t_values]
+    results = simulate_runs(specs)
     rows = []
-    for t_slots in t_values:
-        scenario = build_scenario(seed=seed, days=days,
-                                  fine_slots_per_coarse=t_slots)
-        result = run_smartdpss(scenario, paper_controller_config())
+    for t_slots, result in zip(t_values, results):
         rows.append(Fig6TRow(
             t_slots=t_slots,
             time_avg_cost=result.time_average_cost,

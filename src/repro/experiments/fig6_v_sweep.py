@@ -21,9 +21,10 @@ from repro.experiments.common import (
     PAPER_V_SWEEP,
     Scenario,
     build_scenario,
-    run_impatient,
-    run_offline,
-    run_smartdpss,
+    simulate_runs,
+    spec_impatient,
+    spec_offline,
+    spec_smartdpss,
 )
 from repro.rng import DEFAULT_SEED
 
@@ -68,11 +69,15 @@ class Fig6VResult:
 def run_fig6_v(seed: int = DEFAULT_SEED,
                v_values: tuple[float, ...] = PAPER_V_SWEEP,
                days: int = 31) -> Fig6VResult:
-    """Run the V sweep plus both baselines."""
+    """Run the V sweep plus both baselines (one batched fleet)."""
     scenario: Scenario = build_scenario(seed=seed, days=days)
+    specs = [spec_smartdpss(scenario, paper_controller_config(v=v))
+             for v in v_values]
+    specs.append(spec_impatient(scenario))
+    specs.append(spec_offline(scenario))
+    results = simulate_runs(specs)
     rows = []
-    for v in v_values:
-        result = run_smartdpss(scenario, paper_controller_config(v=v))
+    for v, result in zip(v_values, results):
         rows.append(Fig6VRow(
             v=v,
             time_avg_cost=result.time_average_cost,
@@ -81,8 +86,7 @@ def run_fig6_v(seed: int = DEFAULT_SEED,
             peak_backlog=result.peak_backlog,
             availability=result.availability,
         ))
-    impatient = run_impatient(scenario)
-    offline = run_offline(scenario)
+    impatient, offline = results[-2], results[-1]
     return Fig6VResult(
         rows=tuple(rows),
         impatient_cost=impatient.time_average_cost,

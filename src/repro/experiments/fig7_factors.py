@@ -24,7 +24,8 @@ from repro.experiments.common import (
     PAPER_BATTERY_SWEEP,
     PAPER_EPSILON_SWEEP,
     build_scenario,
-    run_smartdpss,
+    simulate_runs,
+    spec_smartdpss,
 )
 from repro.rng import DEFAULT_SEED
 
@@ -79,40 +80,52 @@ def run_fig7(seed: int = DEFAULT_SEED, days: int = 31,
     scenarios = [build_scenario(seed=seed + offset, days=days)
                  for offset in range(max(1, n_seeds))]
 
-    def averaged(label: str, run_one) -> FactorRow:
-        results = [run_one(scenario) for scenario in scenarios]
-        return FactorRow(
-            label=label,
-            time_avg_cost=sum(r.time_average_cost for r in results)
-            / len(results),
-            avg_delay_slots=sum(r.average_delay_slots for r in results)
-            / len(results))
+    # Every factor setting replicated across every seed scenario is one
+    # flat fleet; a single batched call runs them all in lockstep.
+    factors: list[tuple[str, str]] = []
+    specs = []
 
-    epsilon_rows = [
-        averaged(f"eps={epsilon:g}",
-                 lambda s, e=epsilon: run_smartdpss(
-                     s, paper_controller_config(epsilon=e)))
-        for epsilon in PAPER_EPSILON_SWEEP
-    ]
+    for epsilon in PAPER_EPSILON_SWEEP:
+        factors.append(("epsilon", f"eps={epsilon:g}"))
+        specs.extend(
+            spec_smartdpss(s, paper_controller_config(epsilon=epsilon))
+            for s in scenarios)
 
-    battery_rows = []
     for minutes in PAPER_BATTERY_SWEEP:
         system = paper_system_config(battery_minutes=minutes, days=days)
-        battery_rows.append(averaged(
-            f"Bmax={minutes:g}min",
-            lambda s, sys=system: run_smartdpss(
-                s, paper_controller_config(), system=sys)))
+        factors.append(("battery", f"Bmax={minutes:g}min"))
+        specs.extend(
+            spec_smartdpss(s, paper_controller_config(), system=system)
+            for s in scenarios)
 
-    market_rows = [
-        averaged(label,
-                 lambda s, lt=use_lt: run_smartdpss(
-                     s, paper_controller_config(use_long_term_market=lt)))
-        for label, use_lt in (("TM", True), ("RTM", False))
-    ]
+    for label, use_lt in (("TM", True), ("RTM", False)):
+        factors.append(("market", label))
+        specs.extend(
+            spec_smartdpss(s, paper_controller_config(
+                use_long_term_market=use_lt))
+            for s in scenarios)
 
-    return Fig7Result(epsilon_rows=tuple(epsilon_rows),
-                      battery_rows=tuple(battery_rows),
-                      market_rows=tuple(market_rows))
+    results = simulate_runs(specs)
+
+    def averaged(index: int) -> FactorRow:
+        chunk = results[index * len(scenarios):
+                        (index + 1) * len(scenarios)]
+        return FactorRow(
+            label=factors[index][1],
+            time_avg_cost=sum(r.time_average_cost for r in chunk)
+            / len(chunk),
+            avg_delay_slots=sum(r.average_delay_slots for r in chunk)
+            / len(chunk))
+
+    rows = [averaged(index) for index in range(len(factors))]
+    by_study = {
+        study: tuple(row for (kind, _), row in zip(factors, rows)
+                     if kind == study)
+        for study in ("epsilon", "battery", "market")
+    }
+    return Fig7Result(epsilon_rows=by_study["epsilon"],
+                      battery_rows=by_study["battery"],
+                      market_rows=by_study["market"])
 
 
 def render(result: Fig7Result) -> str:

@@ -17,15 +17,15 @@ from dataclasses import dataclass
 
 from repro.analysis.tables import format_table
 from repro.config.presets import paper_controller_config
+from repro.core.smartdpss import SmartDPSS
 from repro.experiments.common import (
     PAPER_PENETRATION_SWEEP,
     PAPER_VARIATION_SWEEP,
     build_scenario,
-    run_smartdpss,
+    simulate_runs,
 )
 from repro.rng import DEFAULT_SEED
-from repro.sim.engine import Simulator
-from repro.core.smartdpss import SmartDPSS
+from repro.sim.batch import RunSpec
 from repro.traces.scaling import (
     rescale_renewable_penetration,
     reshape_demand_variation,
@@ -63,31 +63,33 @@ class Fig8Result:
 
 
 def run_fig8(seed: int = DEFAULT_SEED, days: int = 31) -> Fig8Result:
-    """Run the penetration and variation sweeps."""
+    """Run the penetration and variation sweeps as one batched fleet."""
     scenario = build_scenario(seed=seed, days=days)
     config = paper_controller_config()
 
-    penetration_rows = []
-    for level in PAPER_PENETRATION_SWEEP:
-        traces = rescale_renewable_penetration(scenario.traces, level)
-        result = Simulator(scenario.system, SmartDPSS(config),
-                           traces).run()
-        penetration_rows.append(SweepRow(
-            x=level,
-            time_avg_cost=result.time_average_cost,
-            avg_delay_slots=result.average_delay_slots,
-            waste_mwh=result.waste_total))
+    pen_traces = [rescale_renewable_penetration(scenario.traces, level)
+                  for level in PAPER_PENETRATION_SWEEP]
+    var_traces = [reshape_demand_variation(scenario.traces, scale)
+                  for scale in PAPER_VARIATION_SWEEP]
+    specs = [RunSpec(system=scenario.system,
+                     controller=SmartDPSS(config), traces=traces)
+             for traces in (*pen_traces, *var_traces)]
+    results = simulate_runs(specs)
 
-    variation_rows = []
-    for scale in PAPER_VARIATION_SWEEP:
-        traces = reshape_demand_variation(scenario.traces, scale)
-        result = Simulator(scenario.system, SmartDPSS(config),
-                           traces).run()
-        variation_rows.append(SweepRow(
-            x=traces.demand_std,
-            time_avg_cost=result.time_average_cost,
-            avg_delay_slots=result.average_delay_slots,
-            waste_mwh=result.waste_total))
+    penetration_rows = [
+        SweepRow(x=level,
+                 time_avg_cost=result.time_average_cost,
+                 avg_delay_slots=result.average_delay_slots,
+                 waste_mwh=result.waste_total)
+        for level, result in zip(PAPER_PENETRATION_SWEEP, results)]
+
+    variation_rows = [
+        SweepRow(x=traces.demand_std,
+                 time_avg_cost=result.time_average_cost,
+                 avg_delay_slots=result.average_delay_slots,
+                 waste_mwh=result.waste_total)
+        for traces, result in zip(var_traces,
+                                  results[len(pen_traces):])]
 
     return Fig8Result(penetration_rows=tuple(penetration_rows),
                       variation_rows=tuple(variation_rows))

@@ -22,8 +22,9 @@ from repro.config.presets import paper_controller_config
 from repro.experiments.common import (
     PAPER_V_SWEEP,
     build_scenario,
-    run_impatient,
-    run_smartdpss,
+    simulate_runs,
+    spec_impatient,
+    spec_smartdpss,
 )
 from repro.rng import DEFAULT_SEED, RngFactory
 from repro.traces.noise import uniform_observation_noise
@@ -63,19 +64,25 @@ def run_fig9(seed: int = DEFAULT_SEED,
              rel_error: float = 0.5,
              v_values: tuple[float, ...] = PAPER_V_SWEEP,
              days: int = 31) -> Fig9Result:
-    """Run the noise-robustness sweep."""
+    """Run the noise-robustness sweep as one batched fleet."""
     scenario = build_scenario(seed=seed, days=days)
     noise_rng = RngFactory(seed).stream("fig9-observation-noise")
     observed = uniform_observation_noise(
         scenario.traces, rel_error, noise_rng,
         price_cap=scenario.system.p_max)
-    impatient = run_impatient(scenario)
 
-    rows = []
+    specs = [spec_impatient(scenario)]
     for v in v_values:
         config = paper_controller_config(v=v)
-        clean = run_smartdpss(scenario, config)
-        noisy = run_smartdpss(scenario, config, observed=observed)
+        specs.append(spec_smartdpss(scenario, config))
+        specs.append(spec_smartdpss(scenario, config, observed=observed))
+    results = simulate_runs(specs)
+    impatient = results[0]
+
+    rows = []
+    for index, v in enumerate(v_values):
+        clean = results[1 + 2 * index]
+        noisy = results[2 + 2 * index]
         rows.append(Fig9Row(
             v=v,
             clean_cost=clean.time_average_cost,

@@ -11,6 +11,12 @@ statistics, availability, battery cycling) in a
 :class:`~repro.sim.results.SimulationResult`.
 """
 
+from repro.sim.batch import (
+    BatchSimulator,
+    RunSpec,
+    ScalarControllerBatch,
+    simulate_many,
+)
 from repro.sim.engine import Simulator, run_simulation
 from repro.sim.metrics import CostBreakdown, summarize_costs
 from repro.sim.outages import (
@@ -25,6 +31,10 @@ from repro.sim.sweep import Sweep, SweepTable
 __all__ = [
     "Simulator",
     "run_simulation",
+    "BatchSimulator",
+    "RunSpec",
+    "ScalarControllerBatch",
+    "simulate_many",
     "Recorder",
     "SimulationResult",
     "CostBreakdown",

@@ -1,0 +1,660 @@
+"""Vectorized batch simulation engine and the multi-run front door.
+
+The scalar :class:`~repro.sim.engine.Simulator` drives one controller
+through the per-slot physics in Python; every figure of the paper is a
+*sweep* of such runs (values × seeds), so the fleet-level hot path is
+``B`` independent scenarios advancing through identical physics.
+:class:`BatchSimulator` moves all of them per slot in ``(B,)`` array
+form — eq.-4 supply-demand balance, battery SOC dynamics, backlog
+queue and billing — with controllers plugged in through a batch
+protocol:
+
+* :class:`~repro.core.smartdpss_vec.VecSmartDPSS` — SmartDPSS with the
+  P5 hot path fully vectorized;
+* :class:`ScalarControllerBatch` — adapter running any scalar
+  :class:`~repro.core.interfaces.Controller` per scenario while the
+  physics stays vectorized.
+
+:func:`simulate_many` is the front door used by the sweep runner and
+the experiment modules: it takes ordinary per-run specs, groups the
+compatible ones (same two-timescale shape) into batches, picks the
+vectorized controller where possible, and falls back to scalar
+simulation otherwise — callers never need to know which engine ran.
+
+Exactness contract: a batch run is bit-for-bit identical to the ``B``
+scalar runs it replaces (same IEEE-754 operations in the same order;
+see :mod:`repro.sim.vecstate`), enforced slot-for-slot by
+``tests/equivalence/``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from copy import deepcopy
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.config.system import SystemConfig
+from repro.core.interfaces import (
+    CoarseObservation,
+    Controller,
+    FineObservation,
+    SlotFeedback,
+)
+from repro.core.smartdpss import SmartDPSS
+from repro.core.smartdpss_vec import VecSmartDPSS
+from repro.exceptions import (
+    HorizonMismatchError,
+    InfeasibleActionError,
+)
+from repro.sim.engine import Simulator
+from repro.sim.results import SimulationResult
+from repro.sim.vecstate import (
+    BatchRecorder,
+    VecBacklog,
+    VecBattery,
+    VecCycleLedger,
+    VecMarketLedger,
+    replay_delay_stats,
+)
+from repro.traces.base import TraceSet
+
+#: Executor names accepted by :func:`simulate_many` / ``Sweep.run``.
+EXECUTORS = ("serial", "batch", "process")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation request, as the scalar ``Simulator`` takes it."""
+
+    system: SystemConfig
+    controller: Controller
+    traces: TraceSet
+    observed: TraceSet | None = None
+    grid_capacity: object = None
+
+
+@dataclass
+class BatchFineObservation:
+    """Array form of :class:`~repro.core.interfaces.FineObservation`.
+
+    ``cycle_budget_left`` uses ``+inf`` for "unconstrained" (the scalar
+    protocol's ``None``); the scalar-facing adapter converts back.
+    """
+
+    fine_slot: int
+    coarse_index: int
+    price_rt: np.ndarray
+    demand_ds: np.ndarray
+    demand_dt: np.ndarray
+    renewable: np.ndarray
+    battery_level: np.ndarray
+    backlog: np.ndarray
+    long_term_rate: np.ndarray
+    grid_headroom: np.ndarray
+    supply_headroom: np.ndarray
+    cycle_budget_left: np.ndarray
+
+
+@dataclass
+class BatchSlotFeedback:
+    """Array form of :class:`~repro.core.interfaces.SlotFeedback`."""
+
+    fine_slot: int
+    served_dt: np.ndarray
+    served_ds: np.ndarray
+    unserved_ds: np.ndarray
+    charge: np.ndarray
+    discharge: np.ndarray
+    waste: np.ndarray
+    battery_level: np.ndarray
+    backlog: np.ndarray
+    had_backlog: np.ndarray
+
+
+@runtime_checkable
+class BatchController(Protocol):
+    """What :class:`BatchSimulator` needs from a controller bundle."""
+
+    @property
+    def names(self) -> list[str]: ...
+
+    def begin_horizon(self, systems: Sequence[SystemConfig]) -> None: ...
+
+    def plan_long_term(self, observations: Sequence[CoarseObservation]
+                       ) -> np.ndarray: ...
+
+    def real_time(self, obs: BatchFineObservation
+                  ) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def end_slot(self, feedback: BatchSlotFeedback) -> None: ...
+
+
+class ScalarControllerBatch:
+    """Drives ``B`` scalar controllers inside the batch engine.
+
+    The physics stays vectorized; only the policy calls loop, each one
+    receiving the exact scalar observation records it would get from
+    :class:`~repro.sim.engine.Simulator`.  This is the universal
+    fallback that lets :func:`simulate_many` batch *any* mix of
+    policies (baselines, user controllers) without a vectorized port.
+    """
+
+    def __init__(self, controllers: Sequence[Controller]):
+        if not controllers:
+            raise ValueError("need at least one controller")
+        self.controllers = list(controllers)
+
+    @property
+    def names(self) -> list[str]:
+        return [controller.name for controller in self.controllers]
+
+    def begin_horizon(self, systems: Sequence[SystemConfig]) -> None:
+        for controller, system in zip(self.controllers, systems):
+            controller.begin_horizon(system)
+
+    def plan_long_term(self, observations: Sequence[CoarseObservation]
+                       ) -> np.ndarray:
+        return np.array([
+            float(controller.plan_long_term(obs))
+            for controller, obs in zip(self.controllers, observations)])
+
+    @staticmethod
+    def _budget_left(value: float) -> int | None:
+        return None if np.isinf(value) else int(value)
+
+    def real_time(self, obs: BatchFineObservation
+                  ) -> tuple[np.ndarray, np.ndarray]:
+        n = len(self.controllers)
+        grt = np.zeros(n)
+        gamma = np.zeros(n)
+        for index, controller in enumerate(self.controllers):
+            decision = controller.real_time(FineObservation(
+                fine_slot=obs.fine_slot,
+                coarse_index=obs.coarse_index,
+                price_rt=float(obs.price_rt[index]),
+                demand_ds=float(obs.demand_ds[index]),
+                demand_dt=float(obs.demand_dt[index]),
+                renewable=float(obs.renewable[index]),
+                battery_level=float(obs.battery_level[index]),
+                backlog=float(obs.backlog[index]),
+                long_term_rate=float(obs.long_term_rate[index]),
+                grid_headroom=float(obs.grid_headroom[index]),
+                supply_headroom=float(obs.supply_headroom[index]),
+                cycle_budget_left=self._budget_left(
+                    obs.cycle_budget_left[index]),
+            ))
+            grt[index] = decision.grt
+            gamma[index] = decision.gamma
+        return grt, gamma
+
+    def end_slot(self, feedback: BatchSlotFeedback) -> None:
+        for index, controller in enumerate(self.controllers):
+            controller.end_slot(SlotFeedback(
+                fine_slot=feedback.fine_slot,
+                served_dt=float(feedback.served_dt[index]),
+                served_ds=float(feedback.served_ds[index]),
+                unserved_ds=float(feedback.unserved_ds[index]),
+                charge=float(feedback.charge[index]),
+                discharge=float(feedback.discharge[index]),
+                waste=float(feedback.waste[index]),
+                battery_level=float(feedback.battery_level[index]),
+                backlog=float(feedback.backlog[index]),
+                had_backlog=bool(feedback.had_backlog[index]),
+            ))
+
+
+class BatchSimulator:
+    """Advances ``B`` scenarios through the DPSS physics in lockstep.
+
+    All scenarios must share the two-timescale shape
+    (``fine_slots_per_coarse``, ``num_coarse_slots``, ``slot_hours``);
+    every *numeric* parameter — grid caps, battery, penalties, traces,
+    per-slot feeder capacity — may differ per scenario.
+    """
+
+    def __init__(self, runs: Sequence[RunSpec],
+                 controller: BatchController | None = None):
+        if not runs:
+            raise ValueError("need at least one run")
+        self.runs = list(runs)
+        systems = [run.system for run in self.runs]
+        shapes = {(s.fine_slots_per_coarse, s.num_coarse_slots,
+                   s.slot_hours) for s in systems}
+        if len(shapes) > 1:
+            raise HorizonMismatchError(
+                f"batched systems must share (T, K, slot_hours), got "
+                f"{sorted(shapes)}")
+        self.systems = systems
+        self.controller = controller if controller is not None \
+            else _default_controller(self.runs)
+
+        n_slots = systems[0].horizon_slots
+        t_slots = systems[0].fine_slots_per_coarse
+        batch = len(self.runs)
+        self._n_slots = n_slots
+        self._t_slots = t_slots
+        self._batch = batch
+
+        for run in self.runs:
+            if run.traces.n_slots < n_slots:
+                raise HorizonMismatchError(
+                    f"traces cover {run.traces.n_slots} slots but the "
+                    f"system horizon needs {n_slots}")
+            observed = run.observed or run.traces
+            if observed.n_slots != run.traces.n_slots:
+                raise HorizonMismatchError(
+                    f"observed traces cover {observed.n_slots} slots, "
+                    f"true traces {run.traces.n_slots}")
+
+        def stack(select) -> np.ndarray:
+            return np.stack([np.asarray(select(run), dtype=float)[:n_slots]
+                             for run in self.runs])
+
+        self._true_dds = stack(lambda r: r.traces.demand_ds)
+        self._true_ddt = stack(lambda r: r.traces.demand_dt)
+        self._true_ren = stack(lambda r: r.traces.renewable)
+        self._true_prt = stack(lambda r: r.traces.price_rt)
+        self._obs_dds = stack(lambda r: self._observed(r).demand_ds)
+        self._obs_ddt = stack(lambda r: self._observed(r).demand_dt)
+        self._obs_ren = stack(lambda r: self._observed(r).renewable)
+        self._obs_prt = stack(lambda r: self._observed(r).price_rt)
+
+        k_slots = systems[0].num_coarse_slots
+        self._true_plt = np.stack(
+            [run.traces.coarse_prices(t_slots)[:k_slots]
+             for run in self.runs])
+        self._obs_plt = np.stack(
+            [self._observed(run).coarse_prices(t_slots)[:k_slots]
+             for run in self.runs])
+
+        self._p_grid = np.array([s.p_grid for s in systems])
+        self._s_max = np.array([s.s_max for s in systems])
+        self._s_dt_max = np.array([s.s_dt_max for s in systems])
+        self._waste_penalty = np.array([s.waste_penalty for s in systems])
+        self._capacity = self._stack_capacity()
+        self._check_prices()
+
+    @staticmethod
+    def _observed(run: RunSpec) -> TraceSet:
+        return run.observed if run.observed is not None else run.traces
+
+    def _stack_capacity(self) -> np.ndarray:
+        """Per-slot feeder capacity matrix (static ``Pgrid`` rows where
+        no outage schedule is given), validated as the scalar engine
+        validates ``grid_capacity``."""
+        rows = []
+        for index, run in enumerate(self.runs):
+            if run.grid_capacity is None:
+                rows.append(np.full(self._n_slots,
+                                    self.systems[index].p_grid))
+                continue
+            capacity = np.asarray(run.grid_capacity, dtype=float)
+            if capacity.size < self._n_slots:
+                raise HorizonMismatchError(
+                    f"grid capacity covers {capacity.size} slots but "
+                    f"the horizon needs {self._n_slots}")
+            if np.any(capacity < 0):
+                raise ValueError("grid capacity must be >= 0")
+            rows.append(capacity[:self._n_slots])
+        return np.stack(rows)
+
+    def _check_prices(self) -> None:
+        """Upfront twin of the markets' per-purchase price validation.
+
+        The scalar markets raise on the first slot whose price falls
+        outside ``[0, Pmax]``; the batch engine validates the whole
+        horizon before starting (same exception, deterministic either
+        way).  The inverted comparison also rejects NaN, exactly as
+        the scalar ``0 <= price <= cap`` check does.
+        """
+        for index, system in enumerate(self.systems):
+            cap = system.p_max * (1 + 1e-9)
+            for name, series in (("real-time", self._true_prt[index]),
+                                 ("long-term", self._true_plt[index])):
+                lo, hi = float(series.min()), float(series.max())
+                if not (0 <= lo and hi <= cap):
+                    raise InfeasibleActionError(
+                        f"{name}: price outside [0, {system.p_max}] "
+                        f"(observed range [{lo}, {hi}])")
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> list[SimulationResult]:
+        """Simulate every scenario over the horizon, in lockstep."""
+        systems = self.systems
+        batch, n_slots, t_slots = self._batch, self._n_slots, self._t_slots
+
+        battery = VecBattery(
+            b_min=[s.b_min for s in systems],
+            b_max=[s.b_max for s in systems],
+            b_charge_max=[s.b_charge_max for s in systems],
+            b_discharge_max=[s.b_discharge_max for s in systems],
+            eta_c=[s.eta_c for s in systems],
+            eta_d=[s.eta_d for s in systems],
+            initial=[s.initial_battery for s in systems],
+            n=batch)
+        backlog = VecBacklog(batch)
+        cycles = VecCycleLedger(
+            op_cost=[s.battery_op_cost for s in systems],
+            budgets=[s.cycle_budget for s in systems], n=batch)
+        lt_ledger = VecMarketLedger(batch)
+        rt_ledger = VecMarketLedger(batch)
+        recorder = BatchRecorder(batch, n_slots)
+
+        self.controller.begin_horizon(systems)
+        block = np.zeros(batch)
+
+        for slot in range(n_slots):
+            coarse = slot // t_slots
+
+            if slot % t_slots == 0:
+                observations = [self._coarse_observation(b, coarse, slot,
+                                                         battery, backlog,
+                                                         cycles)
+                                for b in range(batch)]
+                gbef = np.asarray(
+                    self.controller.plan_long_term(observations),
+                    dtype=float)
+                block = np.minimum(np.maximum(0.0, gbef),
+                                   self._p_grid * t_slots)
+                lt_ledger.record(block, self._true_plt[:, coarse])
+
+            cap = self._capacity[:, slot]
+            rate = np.minimum(block / t_slots, cap)
+            grid_headroom = np.maximum(0.0, cap - rate)
+
+            observed_r = self._obs_ren[:, slot]
+            grt_request, gamma = self.controller.real_time(
+                BatchFineObservation(
+                    fine_slot=slot,
+                    coarse_index=coarse,
+                    price_rt=self._obs_prt[:, slot],
+                    demand_ds=self._obs_dds[:, slot],
+                    demand_dt=self._obs_ddt[:, slot],
+                    renewable=observed_r,
+                    battery_level=battery.level,
+                    backlog=backlog.backlog,
+                    long_term_rate=rate,
+                    grid_headroom=grid_headroom,
+                    supply_headroom=np.maximum(
+                        0.0, self._s_max - rate - observed_r),
+                    cycle_budget_left=cycles.remaining,
+                ))
+            grt_request = np.asarray(grt_request, dtype=float)
+            gamma = np.asarray(gamma, dtype=float)
+            if np.any(grt_request < 0):
+                worst = float(grt_request.min())
+                raise InfeasibleActionError(
+                    f"real-time purchase must be >= 0, got {worst}")
+            if np.any(gamma < 0) or np.any(gamma > 1):
+                raise ValueError(
+                    f"gamma must be in [0, 1], got "
+                    f"[{float(gamma.min())}, {float(gamma.max())}]")
+
+            self._step_physics(slot, coarse, rate, grt_request, gamma,
+                               battery, backlog, cycles, grid_headroom,
+                               rt_ledger, recorder)
+
+        finalize = getattr(self.controller, "finalize", None)
+        if finalize is not None:
+            finalize()
+        return self._collect(recorder, cycles, lt_ledger, rt_ledger)
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+
+    def _coarse_observation(self, index: int, coarse: int, slot: int,
+                            battery: VecBattery, backlog: VecBacklog,
+                            cycles: VecCycleLedger) -> CoarseObservation:
+        """Per-scenario twin of ``Simulator._plan``'s observation."""
+        t_slots = self._t_slots
+        window = (slice(slot - t_slots, slot) if slot >= t_slots
+                  else slice(slot, slot + 1))
+        profile_ds = tuple(self._obs_dds[index, window].tolist())
+        profile_dt = tuple(self._obs_ddt[index, window].tolist())
+        profile_r = tuple(self._obs_ren[index, window].tolist())
+        profile_p = tuple(self._obs_prt[index, window].tolist())
+        return CoarseObservation(
+            coarse_index=coarse,
+            fine_slot=slot,
+            price_lt=float(self._obs_plt[index, coarse]),
+            demand_ds=sum(profile_ds) / len(profile_ds),
+            demand_dt=sum(profile_dt) / len(profile_dt),
+            renewable=sum(profile_r) / len(profile_r),
+            battery_level=float(battery.level[index]),
+            backlog=float(backlog.backlog[index]),
+            cycle_budget_left=cycles.remaining_scalar(index),
+            profile_demand_ds=profile_ds,
+            profile_demand_dt=profile_dt,
+            profile_renewable=profile_r,
+            profile_price_rt=profile_p,
+        )
+
+    def _step_physics(self, slot: int, coarse: int, rate: np.ndarray,
+                      grt_request: np.ndarray, gamma: np.ndarray,
+                      battery: VecBattery, backlog: VecBacklog,
+                      cycles: VecCycleLedger, grid_headroom: np.ndarray,
+                      rt_ledger: VecMarketLedger,
+                      recorder: BatchRecorder) -> None:
+        """Vector twin of ``Simulator._step_physics`` (one slot)."""
+        dds = self._true_dds[:, slot]
+        ddt = self._true_ddt[:, slot]
+        renewable = self._true_ren[:, slot]
+        prt = self._true_prt[:, slot]
+
+        # Clamp the real-time purchase to the feeder and supply caps.
+        grt = np.minimum(grt_request, grid_headroom)
+        grt = np.minimum(grt,
+                         np.maximum(0.0, self._s_max - rate - renewable))
+        cost_rt = rt_ledger.record(grt, prt)
+
+        # Renewable curtailment if the bus is over the supply cap.
+        renewable_used = np.minimum(
+            renewable, np.maximum(0.0, self._s_max - rate - grt))
+        curtailed = renewable - renewable_used
+        supply = rate + grt + renewable_used
+
+        # Service resolution: delay-sensitive first.
+        had_backlog = backlog.has_backlog
+        q_now = backlog.backlog
+        sdt_request = np.minimum(gamma * q_now, self._s_dt_max)
+        allowed = ~cycles.exhausted
+
+        desired = dds + sdt_request
+        surplus_branch = supply >= desired - 1e-12
+
+        surplus = np.maximum(0.0, supply - desired)
+        np.copyto(surplus, 0.0, where=surplus < 1e-12)
+        charge_request = np.where(
+            surplus_branch & allowed & (surplus > 0.0), surplus, 0.0)
+
+        need = desired - supply
+        discharge_cap = np.where(allowed, battery.available, 0.0)
+        full_cover = discharge_cap >= need
+        covered = supply + discharge_cap
+        discharge_request = np.where(
+            surplus_branch, 0.0,
+            np.where(full_cover, need, discharge_cap))
+        served_whole = surplus_branch | full_cover
+        covers_ds = covered >= dds
+        sdt = np.where(
+            served_whole, sdt_request,
+            np.where(covers_ds, covered - dds, 0.0))
+        unserved = np.where(
+            served_whole, 0.0,
+            np.where(covers_ds, 0.0, dds - covered))
+
+        # Battery settlement: the two requests are elementwise disjoint
+        # and zero requests leave levels bit-identical (see VecBattery).
+        charge = battery.settle(charge_request, discharge_request)
+        discharge = discharge_request
+        waste = np.where(surplus_branch, surplus - charge, 0.0)
+
+        cost_battery = cycles.record(charge, discharge)
+        backlog.step(sdt, ddt)
+
+        cost_lt = rate * self._true_plt[:, coarse]
+        cost_waste = waste * self._waste_penalty
+        recorder.record(
+            cost_lt=cost_lt,
+            cost_rt=cost_rt,
+            cost_battery=cost_battery,
+            cost_waste=cost_waste,
+            cost_total=cost_lt + cost_rt + cost_battery + cost_waste,
+            gbef_rate=rate,
+            grt=grt,
+            renewable_used=renewable_used,
+            renewable_curtailed=curtailed,
+            served_ds=dds - unserved,
+            served_dt=sdt,
+            unserved_ds=unserved,
+            charge=charge,
+            discharge=discharge,
+            battery_level=battery.level,
+            waste=waste,
+            backlog=backlog.backlog,
+            gamma=gamma,
+        )
+        self.controller.end_slot(BatchSlotFeedback(
+            fine_slot=slot,
+            served_dt=sdt,
+            served_ds=dds - unserved,
+            unserved_ds=unserved,
+            charge=charge,
+            discharge=discharge,
+            waste=waste,
+            battery_level=battery.level,
+            backlog=backlog.backlog,
+            had_backlog=had_backlog,
+        ))
+
+    def _collect(self, recorder: BatchRecorder, cycles: VecCycleLedger,
+                 lt_ledger: VecMarketLedger, rt_ledger: VecMarketLedger
+                 ) -> list[SimulationResult]:
+        names = self.controller.names
+        served_dt = recorder.series("served_dt")
+        results = []
+        for index, run in enumerate(self.runs):
+            observed = self._observed(run)
+            results.append(SimulationResult(
+                controller_name=names[index],
+                system=self.systems[index],
+                series=recorder.scenario_dict(index),
+                delay_stats=replay_delay_stats(
+                    served_dt[index], self._true_ddt[index]),
+                battery_operations=int(cycles.operations[index]),
+                lt_energy=float(lt_ledger.energy[index]),
+                rt_energy=float(rt_ledger.energy[index]),
+                meta={"traces": dict(run.traces.meta),
+                      "observed": dict(observed.meta)},
+            ))
+        return results
+
+
+# ----------------------------------------------------------------------
+# Grouping front door
+# ----------------------------------------------------------------------
+
+
+def _default_controller(runs: Sequence[RunSpec]) -> BatchController:
+    """Pick the vectorized controller when every run is SmartDPSS."""
+    controllers = _distinct_controllers(runs)
+    if all(type(c) is SmartDPSS for c in controllers):
+        return VecSmartDPSS(controllers)
+    return ScalarControllerBatch(controllers)
+
+
+def _distinct_controllers(runs: Sequence[RunSpec]) -> list[Controller]:
+    """Per-run controller instances, deep-copying shared objects.
+
+    Scalar sweeps may legally reuse one controller object across runs
+    (``begin_horizon`` resets it each time); in a batch all scenarios
+    are live simultaneously, so duplicates get their own copies.
+    """
+    seen: set[int] = set()
+    controllers = []
+    for run in runs:
+        controller = run.controller
+        if id(controller) in seen:
+            controller = deepcopy(controller)
+        seen.add(id(controller))
+        controllers.append(controller)
+    return controllers
+
+
+def _batchable_smartdpss(run: RunSpec) -> bool:
+    return type(run.controller) is SmartDPSS
+
+
+def _group_key(run: RunSpec):
+    system = run.system
+    shape = (system.fine_slots_per_coarse, system.num_coarse_slots,
+             system.slot_hours)
+    if _batchable_smartdpss(run):
+        return (*shape, "smartdpss", run.controller.config.objective_mode)
+    return (*shape, "scalar", None)
+
+
+def _run_spec_scalar(spec: RunSpec) -> SimulationResult:
+    """Module-level worker (process executor needs a picklable callable)."""
+    return Simulator(spec.system, spec.controller, spec.traces,
+                     observed=spec.observed,
+                     grid_capacity=spec.grid_capacity).run()
+
+
+def simulate_many(runs: Sequence[RunSpec], executor: str = "batch",
+                  max_workers: int | None = None
+                  ) -> list[SimulationResult]:
+    """Run many simulations, returning results in input order.
+
+    ``executor`` picks the strategy:
+
+    * ``"serial"`` — the scalar :class:`Simulator`, one run at a time
+      (the reference path);
+    * ``"batch"`` — group runs sharing a two-timescale shape and drive
+      each group through :class:`BatchSimulator` (vectorized SmartDPSS
+      where the whole group is SmartDPSS with one objective mode, the
+      scalar-controller adapter otherwise; singleton groups just run
+      scalar);
+    * ``"process"`` — a process pool over scalar runs
+      (``max_workers`` caps the pool size), for multi-core sweeps of
+      heterogeneous scenarios that cannot share a batch.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+    runs = list(runs)
+    if not runs:
+        return []
+
+    if executor == "serial":
+        return [_run_spec_scalar(run) for run in runs]
+
+    if executor == "process":
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(_run_spec_scalar, runs))
+
+    groups: dict[object, list[int]] = {}
+    for index, run in enumerate(runs):
+        groups.setdefault(_group_key(run), []).append(index)
+
+    results: list[SimulationResult | None] = [None] * len(runs)
+    for indices in groups.values():
+        if len(indices) == 1:
+            results[indices[0]] = _run_spec_scalar(runs[indices[0]])
+            continue
+        group_runs = [runs[i] for i in indices]
+        specs = [RunSpec(system=r.system, controller=c, traces=r.traces,
+                         observed=r.observed,
+                         grid_capacity=r.grid_capacity)
+                 for r, c in zip(group_runs,
+                                 _distinct_controllers(group_runs))]
+        for index, result in zip(indices, BatchSimulator(specs).run()):
+            results[index] = result
+    return results  # type: ignore[return-value]

@@ -21,6 +21,8 @@ the *true* traces.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.battery.lifetime import CycleLedger
 from repro.battery.model import UpsBattery
 from repro.config.system import SystemConfig
@@ -68,7 +70,6 @@ class Simulator:
         if grid_capacity is None:
             self.grid_capacity = None
         else:
-            import numpy as np
             capacity = np.asarray(grid_capacity, dtype=float)
             if capacity.size < system.horizon_slots:
                 raise HorizonMismatchError(

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.analysis.tables import format_table
-from repro.sim.engine import Simulator
+from repro.sim.batch import RunSpec, simulate_many
 from repro.sim.results import SimulationResult
 
 #: Metrics extracted per run by default (name → extractor).
@@ -98,15 +98,25 @@ class Sweep:
     metrics: dict[str, Callable[[SimulationResult], float]] = field(
         default_factory=lambda: dict(DEFAULT_METRICS))
 
-    def run(self, seeds: Sequence[int] = (0,)) -> SweepTable:
-        """Execute every (value, seed) pair and average per value."""
+    def run(self, seeds: Sequence[int] = (0,),
+            executor: str = "serial",
+            max_workers: int | None = None) -> SweepTable:
+        """Execute every (value, seed) pair and average per value.
+
+        ``executor`` selects the engine strategy (see
+        :func:`repro.sim.batch.simulate_many`): ``"serial"`` runs the
+        scalar simulator one run at a time, ``"batch"`` advances
+        compatible runs in lockstep through the vectorized engine
+        (identical results, one NumPy dispatch for the whole fleet per
+        slot), ``"process"`` fans scalar runs out over a process pool
+        (``max_workers`` caps its size).
+        """
         if not self.values:
             raise ValueError("sweep has no values")
         if not seeds:
             raise ValueError("sweep needs at least one seed")
-        points = []
+        runs = []
         for value in self.values:
-            totals = {name: 0.0 for name in self.metrics}
             for seed in seeds:
                 built = self.build(value, seed)
                 if len(built) == 3:
@@ -118,13 +128,22 @@ class Sweep:
                     raise ValueError(
                         "build() must return (system, controller, "
                         "traces[, observed])")
-                result = Simulator(system, controller, traces,
-                                   observed=observed).run()
+                runs.append(RunSpec(system=system, controller=controller,
+                                    traces=traces, observed=observed))
+        results = simulate_many(runs, executor=executor,
+                                max_workers=max_workers)
+
+        points = []
+        per_value = len(seeds)
+        for index, value in enumerate(self.values):
+            chunk = results[index * per_value:(index + 1) * per_value]
+            totals = {name: 0.0 for name in self.metrics}
+            for result in chunk:
                 for name, extract in self.metrics.items():
                     totals[name] += extract(result)
-            averaged = {name: total / len(seeds)
+            averaged = {name: total / per_value
                         for name, total in totals.items()}
             points.append(SweepPoint(value=value, metrics=averaged,
-                                     n_seeds=len(seeds)))
+                                     n_seeds=per_value))
         return SweepTable(name=self.name, points=tuple(points),
                           metric_names=tuple(self.metrics))

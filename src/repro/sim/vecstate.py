@@ -1,0 +1,288 @@
+"""Vectorized physical state for the batch simulation engine.
+
+Each class here is the array-form twin of a scalar physics object —
+:class:`~repro.battery.model.UpsBattery`,
+:class:`~repro.workload.queue.BacklogQueue`,
+:class:`~repro.battery.lifetime.CycleLedger`, the two market ledgers
+and the :class:`~repro.sim.recorder.Recorder` — holding the state of
+``B`` independent scenarios in ``(B,)`` arrays and advancing all of
+them with single NumPy expressions per slot.
+
+Exactness contract: every update below performs the *same arithmetic
+in the same order* as its scalar twin (NumPy float64 operations are
+IEEE-754 doubles, identical to Python floats), so a batch run is
+bit-for-bit equal to ``B`` scalar runs.  The equivalence harness under
+``tests/equivalence/`` enforces this slot-for-slot; change the scalar
+engine and this module together or those tests will fail.
+
+The one piece that stays scalar is the FIFO delay ledger: per-parcel
+delay statistics are inherently sequential, so
+:func:`replay_delay_stats` reconstructs them *after* the batch run by
+replaying the recorded service/arrival series through the original
+:class:`~repro.workload.queue.BacklogQueue` — one cheap linear pass per
+scenario, off the per-slot hot path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.sim.recorder import SERIES_NAMES
+from repro.workload.queue import DelayStats
+
+#: Scalar backlog indicator tolerance (``BacklogQueue._TOLERANCE``).
+_Q_TOLERANCE = 1e-9
+
+
+def as_batch_array(values, n: int, name: str) -> np.ndarray:
+    """Broadcast a scalar or length-``n`` sequence to a ``(n,)`` array."""
+    array = np.asarray(values, dtype=float)
+    if array.ndim == 0:
+        array = np.full(n, float(array))
+    if array.shape != (n,):
+        raise ValueError(
+            f"{name} must be scalar or shape ({n},), got {array.shape}")
+    return array
+
+
+class VecBattery:
+    """``B`` independent UPS batteries (eqs. 3, 7, 8) in array form.
+
+    Mirrors :class:`~repro.battery.model.UpsBattery`: request-style
+    charge/discharge with every clamp applied, so no policy can push a
+    stored level outside ``[Bmin, Bmax]``.
+    """
+
+    def __init__(self, b_min, b_max, b_charge_max, b_discharge_max,
+                 eta_c, eta_d, initial, n: int):
+        self.b_min = as_batch_array(b_min, n, "b_min")
+        self.b_max = as_batch_array(b_max, n, "b_max")
+        self.b_charge_max = as_batch_array(b_charge_max, n, "b_charge_max")
+        self.b_discharge_max = as_batch_array(
+            b_discharge_max, n, "b_discharge_max")
+        self.eta_c = as_batch_array(eta_c, n, "eta_c")
+        self.eta_d = as_batch_array(eta_d, n, "eta_d")
+        self.level = as_batch_array(initial, n, "initial")
+
+    @property
+    def headroom(self) -> np.ndarray:
+        """Absorbable bus energy per scenario (``max_charge_energy``)."""
+        room = np.maximum(0.0, self.b_max - self.level) / self.eta_c
+        return np.minimum(self.b_charge_max, room)
+
+    @property
+    def available(self) -> np.ndarray:
+        """Servable bus energy per scenario (``max_discharge_energy``)."""
+        room = np.maximum(0.0, self.level - self.b_min) / self.eta_d
+        return np.minimum(self.b_discharge_max, room)
+
+    def charge(self, requested: np.ndarray) -> np.ndarray:
+        """Absorb surplus; returns the accepted charge per scenario.
+
+        Scenarios with a zero request keep their level bit-identical to
+        the scalar engine's "battery not touched" path (``min(Bmax,
+        b + ηc·0) = b`` because ``b ≤ Bmax`` is an invariant).
+        """
+        accepted = np.minimum(requested, self.headroom)
+        self.level = np.minimum(self.b_max,
+                                self.level + self.eta_c * accepted)
+        return accepted
+
+    def discharge(self, requested: np.ndarray) -> np.ndarray:
+        """Serve a deficit; returns the delivered energy per scenario."""
+        delivered = np.minimum(requested, self.available)
+        self.level = np.maximum(self.b_min,
+                                self.level - self.eta_d * delivered)
+        return delivered
+
+    def settle(self, charge_request: np.ndarray,
+               discharge_request: np.ndarray) -> np.ndarray:
+        """One slot of elementwise-disjoint charge and discharge.
+
+        The caller has already clamped ``discharge_request`` to the
+        pre-settlement :attr:`available`, so the discharge needs no
+        re-clamping here; zero requests on either side leave levels
+        bit-identical to the untouched-battery path.  Returns the
+        accepted charge (the discharge equals its request).
+        """
+        accepted = np.minimum(charge_request, self.headroom)
+        self.level = np.minimum(self.b_max,
+                                self.level + self.eta_c * accepted)
+        self.level = np.maximum(self.b_min,
+                                self.level
+                                - self.eta_d * discharge_request)
+        return accepted
+
+
+class VecBacklog:
+    """``B`` scalar backlog queues ``Q`` (paper eq. 2) in array form.
+
+    Only the scalar dynamics live here; the FIFO delay ledger is
+    reconstructed post-run by :func:`replay_delay_stats`.
+    """
+
+    def __init__(self, n: int):
+        self.backlog = np.zeros(n)
+
+    @property
+    def has_backlog(self) -> np.ndarray:
+        """Indicator ``1{Q(τ) > 0}`` with the scalar tolerance."""
+        return self.backlog > _Q_TOLERANCE
+
+    def step(self, service: np.ndarray, arrivals: np.ndarray) -> None:
+        """Serve then admit, exactly as ``BacklogQueue.step``."""
+        to_serve = np.minimum(service, self.backlog)
+        self.backlog = np.maximum(0.0, self.backlog - to_serve) + arrivals
+
+
+class VecCycleLedger:
+    """``B`` cycle ledgers (eq. 9) in array form."""
+
+    def __init__(self, op_cost, budgets, n: int):
+        self.op_cost = as_batch_array(op_cost, n, "op_cost")
+        # None (unconstrained) maps to +inf so ``remaining`` never hits 0.
+        self.budget = np.array(
+            [np.inf if b is None else float(b) for b in budgets])
+        if self.budget.shape != (n,):
+            raise ValueError(f"budgets must have length {n}")
+        self.operations = np.zeros(n, dtype=np.int64)
+
+    @property
+    def remaining(self) -> np.ndarray:
+        """Operations left (float array; +inf when unconstrained)."""
+        return np.maximum(0.0, self.budget - self.operations)
+
+    @property
+    def exhausted(self) -> np.ndarray:
+        """Whether constraint (9) forbids further battery activity."""
+        return self.remaining == 0.0
+
+    def remaining_scalar(self, index: int) -> int | None:
+        """Scalar-protocol form: ``None`` when unconstrained."""
+        if not np.isfinite(self.budget[index]):
+            return None
+        return int(self.remaining[index])
+
+    def record(self, charge: np.ndarray,
+               discharge: np.ndarray) -> np.ndarray:
+        """Account one slot; returns the per-scenario dollar cost."""
+        active = (charge > 0) | (discharge > 0)
+        self.operations += active
+        return np.where(active, self.op_cost, 0.0)
+
+
+class VecMarketLedger:
+    """Energy/spend accounting for ``B`` scenarios."""
+
+    def __init__(self, n: int):
+        self.energy = np.zeros(n)
+        self.spend = np.zeros(n)
+
+    def record(self, energy: np.ndarray, price: np.ndarray) -> np.ndarray:
+        """Record purchases; returns per-scenario costs."""
+        cost = energy * price
+        positive = energy > 0
+        self.energy += np.where(positive, energy, 0.0)
+        self.spend += np.where(positive, cost, 0.0)
+        return cost
+
+
+class BatchRecorder:
+    """Per-slot series for ``B`` scenarios: one ``(B, n_slots)`` array
+    per quantity in :data:`~repro.sim.recorder.SERIES_NAMES`."""
+
+    def __init__(self, n_scenarios: int, n_slots: int):
+        if n_scenarios < 1 or n_slots < 1:
+            raise ValueError(
+                f"need n_scenarios >= 1 and n_slots >= 1, got "
+                f"({n_scenarios}, {n_slots})")
+        self.n_scenarios = n_scenarios
+        self.n_slots = n_slots
+        self._series = {name: np.zeros((n_scenarios, n_slots))
+                        for name in SERIES_NAMES}
+        self._cursor = 0
+
+    @property
+    def cursor(self) -> int:
+        """Number of slots recorded so far."""
+        return self._cursor
+
+    def record(self, **values: np.ndarray) -> None:
+        """Record one slot for every scenario at once."""
+        if self._cursor >= self.n_slots:
+            raise IndexError(f"recorder full ({self.n_slots} slots)")
+        for name, value in values.items():
+            if name not in self._series:
+                raise KeyError(f"unknown series {name!r}")
+            self._series[name][:, self._cursor] = value
+        self._cursor += 1
+
+    def series(self, name: str) -> np.ndarray:
+        """One ``(B, cursor)`` series (read-only view)."""
+        if name not in self._series:
+            raise KeyError(f"unknown series {name!r}")
+        array = self._series[name][:, :self._cursor]
+        array.setflags(write=False)
+        return array
+
+    def scenario_dict(self, index: int) -> dict[str, np.ndarray]:
+        """All series for one scenario, in scalar-Recorder layout."""
+        out = {}
+        for name in SERIES_NAMES:
+            row = self._series[name][index, :self._cursor].copy()
+            row.setflags(write=False)
+            out[name] = row
+        return out
+
+
+def replay_delay_stats(served_dt: np.ndarray,
+                       arrivals_dt: np.ndarray) -> DelayStats:
+    """Reconstruct one scenario's FIFO delay ledger post-run.
+
+    Replays the realized service and true arrivals through the exact
+    dynamics of :class:`~repro.workload.queue.BacklogQueue` (same
+    serve-then-admit order, same tolerances, same accumulation order),
+    reproducing bit-for-bit the delay statistics the scalar engine
+    accumulates inline.  Written as a tight local-variable loop — one
+    linear pass per scenario — because it runs once per batch member
+    over the whole horizon.
+    """
+    backlog = 0.0
+    parcels: deque[list] = deque()
+    served_energy = 0.0
+    weighted_delay = 0.0
+    max_delay = 0
+    histogram: dict[int, float] = {}
+    for slot, (amount, arrivals) in enumerate(
+            zip(served_dt.tolist(), arrivals_dt.tolist())):
+        # serve (eq. 2's max{·, 0} drain, oldest parcels first)
+        to_serve = amount if amount < backlog else backlog
+        remaining = to_serve
+        while remaining > _Q_TOLERANCE and parcels:
+            head = parcels[0]
+            arrival_slot, energy = head
+            take = energy if energy < remaining else remaining
+            delay = slot - arrival_slot
+            if delay < 0:
+                delay = 0
+            served_energy += take
+            weighted_delay += take * delay
+            if delay > max_delay:
+                max_delay = delay
+            histogram[delay] = histogram.get(delay, 0.0) + take
+            remaining -= take
+            if take >= energy - _Q_TOLERANCE:
+                parcels.popleft()
+            else:
+                head[1] = energy - take
+        backlog = max(0.0, backlog - to_serve)
+        # admit the slot's arrivals at the queue tail
+        if arrivals > _Q_TOLERANCE:
+            parcels.append([slot, arrivals])
+        backlog += arrivals
+    return DelayStats(served_energy=served_energy,
+                      weighted_delay=weighted_delay,
+                      max_delay=max_delay,
+                      histogram=histogram)

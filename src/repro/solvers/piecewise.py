@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
+import numpy as np
+
 
 def minimize_over_candidates(
         objective: Callable[..., float],
@@ -59,11 +61,10 @@ def piecewise_candidates_1d(lower: float, upper: float,
     """
     if lower > upper:
         raise ValueError(f"empty interval [{lower}, {upper}]")
-    points = {lower, upper}
-    for bp in breakpoints:
-        if lower <= bp <= upper:
-            points.add(float(bp))
-    return sorted(points)
+    array = np.asarray(breakpoints, dtype=float)
+    inside = array[(lower <= array) & (array <= upper)]
+    ends = np.array([lower, upper], dtype=float)
+    return np.unique(np.concatenate((ends, inside))).tolist()
 
 
 def box_edge_candidates(grt_bounds: tuple[float, float],

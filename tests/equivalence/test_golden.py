@@ -1,0 +1,136 @@
+"""Golden regression tests: pinned seed-state figure metrics.
+
+Small JSON fixtures under ``tests/equivalence/golden/`` pin the
+headline metrics of the fig5/fig6 experiments at tiny horizons
+(seconds, not minutes).  Any refactor that silently drifts the physics
+— engine, controller, traces, or the batch backend every experiment
+now routes through — fails these before it reaches a full-size figure.
+
+Regenerate (only when a drift is *intended* and understood)::
+
+    PYTHONPATH=src python tests/equivalence/test_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.equivalence
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Relative tolerance for pinned floats: loose enough to survive
+#: benign BLAS/NumPy kernel differences across machines, tight enough
+#: that any real physics change (wrong branch, different candidate)
+#: lands far outside it.
+REL_TOL = 1e-7
+
+
+def compute_fig5() -> dict:
+    from repro.experiments.fig5_traces import run_fig5
+
+    result = run_fig5(days=4)
+    return {
+        "summary": result.summary,
+        "hourly_demand": list(result.hourly_demand),
+        "hourly_solar": list(result.hourly_solar),
+        "hourly_price": list(result.hourly_price),
+        "renewable_penetration": result.renewable_penetration,
+        "price_premium_rt_over_lt": result.price_premium_rt_over_lt,
+    }
+
+
+def compute_fig6_v() -> dict:
+    from repro.experiments.fig6_v_sweep import run_fig6_v
+
+    result = run_fig6_v(days=4, v_values=(0.1, 1.0, 5.0))
+    return {
+        "rows": [{
+            "v": row.v,
+            "time_avg_cost": row.time_avg_cost,
+            "avg_delay_slots": row.avg_delay_slots,
+            "worst_delay_slots": row.worst_delay_slots,
+            "peak_backlog": row.peak_backlog,
+            "availability": row.availability,
+        } for row in result.rows],
+        "impatient_cost": result.impatient_cost,
+        "impatient_delay": result.impatient_delay,
+        "offline_cost": result.offline_cost,
+        "offline_delay": result.offline_delay,
+    }
+
+
+def compute_fig6_t() -> dict:
+    from repro.experiments.fig6_t_sweep import run_fig6_t
+
+    result = run_fig6_t(days=3, t_values=(3, 6, 12, 24))
+    return {
+        "rows": [{
+            "t_slots": row.t_slots,
+            "time_avg_cost": row.time_avg_cost,
+            "avg_delay_slots": row.avg_delay_slots,
+            "worst_delay_slots": row.worst_delay_slots,
+            "peak_backlog": row.peak_backlog,
+        } for row in result.rows],
+    }
+
+
+EXPERIMENTS = {
+    "fig5_traces": compute_fig5,
+    "fig6_v_sweep": compute_fig6_v,
+    "fig6_t_sweep": compute_fig6_t,
+}
+
+
+def assert_matches(actual, golden, path: str = "") -> None:
+    """Recursive comparison with a relative float tolerance."""
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), f"{path}: type changed"
+        assert set(actual) == set(golden), (
+            f"{path}: keys {sorted(actual)} != {sorted(golden)}")
+        for key in golden:
+            assert_matches(actual[key], golden[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert isinstance(actual, list) and len(actual) == len(golden), (
+            f"{path}: length changed")
+        for index, (a, g) in enumerate(zip(actual, golden)):
+            assert_matches(a, g, f"{path}[{index}]")
+    elif isinstance(golden, float):
+        scale = max(abs(golden), 1.0)
+        assert abs(actual - golden) <= REL_TOL * scale, (
+            f"{path}: {actual!r} drifted from golden {golden!r}")
+    else:
+        assert actual == golden, (
+            f"{path}: {actual!r} != golden {golden!r}")
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_golden_metrics(name: str) -> None:
+    """Recompute the tiny-horizon experiment; compare to the fixture."""
+    fixture = GOLDEN_DIR / f"{name}.json"
+    assert fixture.exists(), (
+        f"missing golden fixture {fixture}; run "
+        f"`PYTHONPATH=src python {__file__} --regen`")
+    golden = json.loads(fixture.read_text(encoding="utf-8"))
+    assert_matches(EXPERIMENTS[name](), golden, path=name)
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, compute in sorted(EXPERIMENTS.items()):
+        payload = compute()
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,21 @@
+"""Integration tests run multi-day horizons — mark them all ``slow``.
+
+The tier-1 default run still includes them; ``-m "not slow"`` gives a
+fast inner loop (see pytest.ini).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_HERE = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items) -> None:
+    # This hook sees the whole session's items, not just this
+    # directory's — scope the marker to tests that live here.
+    for item in items:
+        if _HERE in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)

@@ -1,0 +1,36 @@
+"""Smoke test: the batch engine neither errors nor badly regresses.
+
+Loads ``benchmarks/smoke.py`` (the same entry ``make bench-smoke``
+runs) and executes it at a tiny size.  Equivalence is asserted
+bitwise inside the smoke run; the timing gate is deliberately loose
+(2×, per the benchmark's ``MAX_REGRESSION``) so CI noise cannot flake
+it — real regressions (a per-scenario Python loop sneaking back onto
+the hot path) overshoot it by a wide margin.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+SMOKE_PATH = (Path(__file__).resolve().parent.parent
+              / "benchmarks" / "smoke.py")
+
+
+def _load_smoke():
+    spec = importlib.util.spec_from_file_location("bench_smoke",
+                                                  SMOKE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_smoke", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_batch_smoke_runs_and_does_not_regress():
+    smoke = _load_smoke()
+    result = smoke.run_smoke(n_seeds=2, days=4)
+    assert result["batch_size"] == 8
+    assert result["ok"], (
+        f"batch path took {result['ratio']:.2f}x serial "
+        f"(gate: {smoke.MAX_REGRESSION}x)")

@@ -1,0 +1,176 @@
+"""Unit tests for the batch engine's API surface and error paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config.control import SmartDPSSConfig
+from repro.config.presets import paper_controller_config, paper_system_config
+from repro.core.smartdpss import SmartDPSS
+from repro.core.smartdpss_vec import VecSmartDPSS
+from repro.exceptions import (
+    ConfigurationError,
+    HorizonMismatchError,
+    InfeasibleActionError,
+)
+from repro.sim.batch import (
+    BatchSimulator,
+    RunSpec,
+    ScalarControllerBatch,
+    simulate_many,
+)
+from repro.sim.vecstate import BatchRecorder, VecCycleLedger
+from repro.traces.library import make_paper_traces
+
+
+def _spec(seed=1, days=2, system=None, **config):
+    system = system or paper_system_config(days=days)
+    return RunSpec(system=system,
+                   controller=SmartDPSS(paper_controller_config(**config)),
+                   traces=make_paper_traces(system, seed=seed))
+
+
+class TestValidation:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchSimulator([])
+
+    def test_mixed_timescale_shapes_rejected(self):
+        a = _spec(days=2)
+        b_system = paper_system_config(days=2, fine_slots_per_coarse=12)
+        b = RunSpec(system=b_system,
+                    controller=SmartDPSS(paper_controller_config()),
+                    traces=make_paper_traces(b_system, seed=2))
+        with pytest.raises(HorizonMismatchError):
+            BatchSimulator([a, b])
+
+    def test_short_traces_rejected(self):
+        long_system = paper_system_config(days=4)
+        short = make_paper_traces(paper_system_config(days=2), seed=1)
+        with pytest.raises(HorizonMismatchError):
+            BatchSimulator([RunSpec(
+                system=long_system,
+                controller=SmartDPSS(paper_controller_config()),
+                traces=short)])
+
+    def test_short_grid_capacity_rejected(self):
+        spec = _spec(days=2)
+        with pytest.raises(HorizonMismatchError):
+            BatchSimulator([RunSpec(
+                system=spec.system, controller=spec.controller,
+                traces=spec.traces, grid_capacity=np.ones(3))])
+
+    def test_negative_grid_capacity_rejected(self):
+        spec = _spec(days=2)
+        capacity = np.full(spec.system.horizon_slots, -1.0)
+        with pytest.raises(ValueError):
+            BatchSimulator([RunSpec(
+                system=spec.system, controller=spec.controller,
+                traces=spec.traces, grid_capacity=capacity)])
+
+    def test_over_cap_price_rejected(self):
+        spec = _spec(days=2)
+        traces = spec.traces.replace(
+            price_rt=np.full(spec.traces.n_slots,
+                             spec.system.p_max * 2))
+        with pytest.raises(InfeasibleActionError):
+            BatchSimulator([RunSpec(system=spec.system,
+                                    controller=spec.controller,
+                                    traces=traces)])
+
+    def test_negative_purchase_rejected(self):
+        class NegativeBuyer:
+            names = ["negative"]
+
+            def begin_horizon(self, systems):
+                self._n = len(systems)
+
+            def plan_long_term(self, observations):
+                return np.zeros(self._n)
+
+            def real_time(self, obs):
+                return np.full(self._n, -1.0), np.zeros(self._n)
+
+            def end_slot(self, feedback):
+                pass
+
+        spec = _spec(days=2)
+        simulator = BatchSimulator([spec], controller=NegativeBuyer())
+        with pytest.raises(InfeasibleActionError):
+            simulator.run()
+
+
+class TestVecSmartDPSS:
+    def test_mixed_objective_modes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VecSmartDPSS([
+                SmartDPSS(SmartDPSSConfig(objective_mode="paper")),
+                SmartDPSS(SmartDPSSConfig(objective_mode="derived")),
+            ])
+
+    def test_names_carry_per_scenario_config(self):
+        vec = VecSmartDPSS.from_configs([
+            SmartDPSSConfig(v=0.5), SmartDPSSConfig(v=2.0)])
+        assert vec.names[0] != vec.names[1]
+        assert "0.5" in vec.names[0] and "2" in vec.names[1]
+
+
+class TestSimulateMany:
+    def test_empty_input_returns_empty(self):
+        assert simulate_many([], executor="batch") == []
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_many([_spec()], executor="threads")
+
+    def test_mixed_objective_modes_grouped_not_rejected(self):
+        runs = [_spec(seed=1, objective_mode="derived"),
+                _spec(seed=2, objective_mode="paper"),
+                _spec(seed=3, objective_mode="derived")]
+        results = simulate_many(runs, executor="batch")
+        assert [r.controller_name for r in results] \
+            == [r.controller.name for r in runs]
+
+    def test_shared_controller_instance_gets_copies(self):
+        shared = SmartDPSS(paper_controller_config())
+        system = paper_system_config(days=2)
+        runs = [RunSpec(system=system, controller=shared,
+                        traces=make_paper_traces(system, seed=s))
+                for s in (1, 2)]
+        batch = simulate_many(runs, executor="batch")
+        serial = simulate_many(runs, executor="serial")
+        for a, b in zip(serial, batch):
+            assert np.array_equal(a.series["cost_total"],
+                                  b.series["cost_total"])
+
+
+class TestScalarAdapter:
+    def test_budget_left_conversion(self):
+        assert ScalarControllerBatch._budget_left(np.inf) is None
+        assert ScalarControllerBatch._budget_left(3.0) == 3
+
+    def test_empty_controllers_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarControllerBatch([])
+
+
+class TestVecState:
+    def test_recorder_rejects_unknown_series(self):
+        recorder = BatchRecorder(2, 4)
+        with pytest.raises(KeyError):
+            recorder.record(nonsense=np.zeros(2))
+
+    def test_recorder_rejects_overflow(self):
+        recorder = BatchRecorder(1, 1)
+        recorder.record(cost_total=np.ones(1))
+        with pytest.raises(IndexError):
+            recorder.record(cost_total=np.ones(1))
+
+    def test_cycle_ledger_budget_exhaustion(self):
+        cycles = VecCycleLedger(op_cost=0.1, budgets=[1, None], n=2)
+        cost = cycles.record(np.array([0.5, 0.5]), np.zeros(2))
+        assert cost.tolist() == [0.1, 0.1]
+        assert cycles.exhausted.tolist() == [True, False]
+        assert cycles.remaining_scalar(0) == 0
+        assert cycles.remaining_scalar(1) is None
