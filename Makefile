@@ -3,7 +3,8 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast test-equivalence bench-smoke bench-batch benchmarks
+.PHONY: test test-fast test-equivalence bench-smoke bench-batch \
+	bench-fleet benchmarks
 
 # Tier-1 verify: the full suite, fail-fast.
 test:
@@ -25,6 +26,11 @@ bench-smoke:
 # Full measurement on the fig10 scaling workload; writes BENCH_batch.json.
 bench-batch:
 	$(PY) benchmarks/bench_batch.py
+
+# Fleet subsystem: streamed peak-memory + shard-count scaling on a
+# 10^4-scenario sweep; writes BENCH_fleet.json.
+bench-fleet:
+	$(PY) benchmarks/bench_fleet.py
 
 # Figure-regeneration benchmarks (pytest-benchmark suite).
 benchmarks:

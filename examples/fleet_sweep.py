@@ -1,0 +1,78 @@
+"""Fleet sweep: a 10⁴-scenario streamed V-sweep with sharded batches.
+
+Where ``quickstart.py`` runs three policies once, this example runs
+SmartDPSS across **ten thousand scenarios** — 20 values of the
+cost-delay parameter ``V`` × 500 trace seeds — without ever holding
+more than one chunk of trace data per scenario in memory:
+
+1. a declarative template :class:`ScenarioSpec` is expanded by
+   :func:`grid_specs` into the fleet (each spec is a few hundred
+   bytes of JSON, so the whole fleet ships to worker processes
+   cheaply);
+2. the :class:`FleetRunner` groups compatible specs, splits them into
+   vectorized shards of 64, and advances every shard chunk-by-chunk
+   through the streamed batch engine (results are bit-identical to
+   the in-memory and scalar engines — see tests/equivalence/);
+3. finished shards append incrementally to an on-disk
+   :class:`ResultStore`, which then aggregates the 500 seed replicas
+   per V into one seed-averaged :class:`SweepTable`.
+
+The same fleet can be launched from the shell::
+
+    python -m repro.fleet run --demo v-sweep --scenarios 10000 \\
+        --days 1 --t-slots 6 --out out/fleet --workers 2
+    python -m repro.fleet report --out out/fleet
+
+Run:  PYTHONPATH=src python examples/fleet_sweep.py [n_scenarios]
+"""
+
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.fleet import FleetRunner, ResultStore, ScenarioSpec, grid_specs
+
+
+def main(n_scenarios: int = 10_000) -> None:
+    values = [round(float(v), 4) for v in np.geomspace(0.05, 5.0, 20)]
+    seeds = range(max(1, -(-n_scenarios // len(values))))
+    template = ScenarioSpec(
+        system={"preset": "paper", "days": 1,
+                "fine_slots_per_coarse": 6},
+        controller={"kind": "smartdpss"},
+        trace={"kind": "stream"},
+    )
+    specs = grid_specs(template, "controller.v", values,
+                       seeds=seeds)[:n_scenarios]
+    print(f"fleet: {len(specs)} scenarios "
+          f"({len(values)} V values x {len(seeds)} seeds, "
+          f"{specs[0].build_system().horizon_slots}-slot horizon)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(tmp)
+        runner = FleetRunner(specs, batch_size=64, chunk_coarse=2,
+                             store=store)
+        start = time.perf_counter()
+        runner.run()
+        elapsed = time.perf_counter() - start
+        print(f"completed in {elapsed:.1f}s "
+              f"({len(specs) / elapsed:.0f} scenarios/s), "
+              f"{len(store)} records in {store.path}")
+        print()
+
+        table = store.sweep_table(
+            name="SmartDPSS V-sweep (seed-averaged)",
+            metrics=("time_avg_cost", "avg_delay_slots",
+                     "worst_delay_slots", "availability"))
+        print(table.render())
+        print()
+        print("the paper's [O(1/V), O(V)] trade-off, visible at fleet "
+              "scale: cost falls and delay grows as V increases")
+        assert table.is_monotone("avg_delay_slots", increasing=True,
+                                 slack=0.05)
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10_000)

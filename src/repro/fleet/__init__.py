@@ -1,0 +1,72 @@
+"""Fleet subsystem: streamed scenario pipelines at sweep scale.
+
+Everything the in-memory engines assume fits in RAM — full trace
+horizons, per-slot series, one process — stops holding at 10⁴+-scenario
+sweeps.  This package supplies the missing layers:
+
+* :mod:`repro.fleet.stream` — chunked, seed-deterministic trace
+  sources (``O(B · chunk)`` trace memory, bit-identical to full
+  materialization for every chunk size);
+* :mod:`repro.fleet.spec` — declarative, serializable
+  :class:`ScenarioSpec` plus grid / product / random-sampling fleet
+  generators;
+* :mod:`repro.fleet.engine` — the chunk-at-a-time
+  :class:`StreamingBatchSimulator` with O(B) result aggregation;
+* :mod:`repro.fleet.runner` — :class:`FleetRunner` sharding whole
+  vectorized batches across worker processes (also the engine behind
+  ``simulate_many(..., executor="process")``);
+* :mod:`repro.fleet.store` — append-only :class:`ResultStore` with
+  seed-replicated aggregation back into
+  :class:`~repro.sim.sweep.SweepTable`.
+
+Command line::
+
+    python -m repro.fleet run --demo v-sweep --scenarios 10000 --out out/
+    python -m repro.fleet report --out out/
+
+The streamed path is gated by ``tests/equivalence/``: for identical
+specs it is bit-identical to the in-memory batch engine (which is
+itself bit-identical to the scalar reference engine).
+"""
+
+from repro.fleet.engine import (
+    ScenarioMetrics,
+    StreamingBatchSimulator,
+    StreamRunSpec,
+    simulate_stream,
+)
+from repro.fleet.runner import (
+    FleetRunner,
+    ShardOutcome,
+    simulate_many_process,
+)
+from repro.fleet.spec import (
+    ScenarioSpec,
+    grid_specs,
+    product_specs,
+    sample_specs,
+)
+from repro.fleet.store import ResultStore
+from repro.fleet.stream import (
+    ArrayTraceStream,
+    StreamingPaperTraces,
+    TraceStream,
+)
+
+__all__ = [
+    "ArrayTraceStream",
+    "FleetRunner",
+    "ResultStore",
+    "ScenarioMetrics",
+    "ScenarioSpec",
+    "ShardOutcome",
+    "StreamRunSpec",
+    "StreamingBatchSimulator",
+    "StreamingPaperTraces",
+    "TraceStream",
+    "grid_specs",
+    "product_specs",
+    "sample_specs",
+    "simulate_many_process",
+    "simulate_stream",
+]

@@ -1,0 +1,197 @@
+"""Fleet command line: run streamed sweeps, report aggregated tables.
+
+Examples
+--------
+Run a 10⁴-scenario streamed V-sweep (20 values × 500 seeds) on a
+one-day horizon and stream results into ``out/fleet``::
+
+    python -m repro.fleet run --demo v-sweep --scenarios 10000 \\
+        --days 1 --t-slots 6 --out out/fleet --workers 2
+
+Run a scenario-diverse random fleet (controller and trace parameters
+sampled per scenario)::
+
+    python -m repro.fleet run --demo random --scenarios 5000 --out out/r
+
+Run an explicit fleet from a JSON file (a list of ScenarioSpec
+dicts)::
+
+    python -m repro.fleet run --spec-file fleet.json --out out/custom
+
+Aggregate whatever a store holds into a seed-averaged table::
+
+    python -m repro.fleet report --out out/fleet
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.fleet.runner import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_CHUNK_COARSE,
+    FleetRunner,
+    ShardOutcome,
+)
+from repro.fleet.spec import (
+    ScenarioSpec,
+    grid_specs,
+    sample_specs,
+)
+from repro.fleet.store import DEFAULT_TABLE_METRICS, ResultStore
+
+DEMOS = ("v-sweep", "t-sweep", "random")
+
+
+def _template(days: int, t_slots: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        system={"preset": "paper", "days": days,
+                "fine_slots_per_coarse": t_slots},
+        controller={"kind": "smartdpss"},
+        trace={"kind": "stream"},
+    )
+
+
+def build_demo_fleet(demo: str, n_scenarios: int, days: int,
+                     t_slots: int, sample_seed: int
+                     ) -> list[ScenarioSpec]:
+    """Deterministically expand a demo description into a fleet."""
+    if n_scenarios < 1:
+        raise ValueError(f"need >= 1 scenario, got {n_scenarios}")
+    template = _template(days, t_slots)
+    if demo == "v-sweep":
+        values = [round(float(v), 4)
+                  for v in np.geomspace(0.05, 5.0, num=20)]
+        seeds = range(max(1, -(-n_scenarios // len(values))))
+        specs = grid_specs(template, "controller.v", values, seeds=seeds)
+        return specs[:n_scenarios]
+    if demo == "t-sweep":
+        values = [t for t in (3, 6, 12, 24) if (days * 24) % t == 0]
+        seeds = range(max(1, -(-n_scenarios // len(values))))
+        specs = grid_specs(template, "system.fine_slots_per_coarse",
+                           values, seeds=seeds)
+        return specs[:n_scenarios]
+    if demo == "random":
+        space = {
+            "controller.v": (0.05, 5.0),
+            "controller.epsilon": (0.25, 2.0),
+            "trace.solar.capacity_mw": (2.0, 6.0),
+            "trace.price.mean_price": (35.0, 65.0),
+        }
+        return sample_specs(template, space, n_scenarios,
+                            seed=sample_seed)
+    raise ValueError(f"unknown demo {demo!r}; expected one of {DEMOS}")
+
+
+def load_spec_file(path: Path) -> list[ScenarioSpec]:
+    """A fleet from a JSON file: a list of ScenarioSpec dicts."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, list):
+        raise ValueError(
+            f"{path}: expected a JSON list of ScenarioSpec objects")
+    return [ScenarioSpec.from_dict(entry) for entry in payload]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.spec_file is not None:
+        specs = load_spec_file(Path(args.spec_file))
+    else:
+        specs = build_demo_fleet(args.demo, args.scenarios, args.days,
+                                 args.t_slots, args.sample_seed)
+    store = ResultStore(args.out)
+    runner = FleetRunner(specs, batch_size=args.batch_size,
+                         chunk_coarse=args.chunk_coarse,
+                         max_workers=args.workers, store=store)
+
+    t0 = time.perf_counter()
+
+    def progress(outcome: ShardOutcome, finished: int, total: int) -> None:
+        print(f"  shard {finished}/{total} done "
+              f"({len(outcome.indices)} scenarios, engine="
+              f"{outcome.engine}, {outcome.elapsed_s:.2f}s)",
+              flush=True)
+
+    print(f"fleet: {len(specs)} scenarios, "
+          f"{len(runner.shards())} shards, "
+          f"workers={args.workers or 1}, "
+          f"batch_size={args.batch_size}, "
+          f"chunk_coarse={args.chunk_coarse}")
+    runner.run(progress=progress if args.verbose else None)
+    elapsed = time.perf_counter() - t0
+    print(f"completed {len(specs)} scenarios in {elapsed:.2f}s "
+          f"({len(specs) / elapsed:.0f} scenarios/s); results in "
+          f"{store.path}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.out)
+    metrics = (tuple(args.metrics.split(","))
+               if args.metrics else DEFAULT_TABLE_METRICS)
+    table = store.sweep_table(name=f"fleet report ({store.root})",
+                              metrics=metrics)
+    print(table.render())
+    print(f"{len(store)} records, {len(table.points)} distinct values")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="execute a fleet of scenarios")
+    run.add_argument("--out", required=True,
+                     help="result-store directory (append-only)")
+    run.add_argument("--demo", choices=DEMOS, default="v-sweep",
+                     help="built-in fleet family (default: v-sweep)")
+    run.add_argument("--scenarios", type=int, default=100,
+                     help="fleet size for --demo (default: 100)")
+    run.add_argument("--days", type=int, default=1,
+                     help="horizon length in days (default: 1)")
+    run.add_argument("--t-slots", type=int, default=6,
+                     help="coarse slot length T in hours (default: 6)")
+    run.add_argument("--spec-file", default=None,
+                     help="JSON file with an explicit ScenarioSpec list "
+                          "(overrides --demo)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="process-pool size (default: in-process)")
+    run.add_argument("--batch-size", type=int,
+                     default=DEFAULT_BATCH_SIZE,
+                     help="scenarios per vectorized shard")
+    run.add_argument("--chunk-coarse", type=int,
+                     default=DEFAULT_CHUNK_COARSE,
+                     help="coarse slots of trace data resident per "
+                          "scenario")
+    run.add_argument("--sample-seed", type=int, default=0,
+                     help="root seed for --demo random")
+    run.add_argument("--verbose", action="store_true",
+                     help="print per-shard progress")
+    run.set_defaults(handler=cmd_run)
+
+    report = commands.add_parser(
+        "report", help="aggregate a result store into a table")
+    report.add_argument("--out", required=True,
+                        help="result-store directory to read")
+    report.add_argument("--metrics", default=None,
+                        help="comma-separated metric names")
+    report.set_defaults(handler=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,420 @@
+"""Streaming batch engine: chunked traces, O(B) result state.
+
+:class:`StreamingBatchSimulator` subclasses the in-memory
+:class:`~repro.sim.batch.BatchSimulator` and reuses its per-slot
+arithmetic verbatim — the only overrides load trace *chunks* into the
+column arrays (advancing the base engine's ``_slot0`` / ``_coarse0``
+window offsets) and replace the ``(B, horizon)`` recorder with the
+O(B) :class:`StreamingAggregator`.  Peak memory is therefore
+``O(B · chunk)`` for traces plus ``O(B)`` for results, instead of the
+in-memory engine's ``O(B · horizon)`` for both.
+
+Exactness contract: per-slot physics outputs are bit-identical to the
+in-memory engine (same code runs), and every aggregate in
+:class:`ScenarioMetrics` is accumulated slot-by-slot in slot order —
+the same IEEE-754 additions :meth:`ScenarioMetrics.from_result`
+applies to an in-memory result's series — so streamed metrics equal
+in-memory metrics *exactly*, not just within tolerance.  Enforced by
+``tests/equivalence/test_fleet_stream.py``.
+
+Chunks must cover whole coarse slots (``chunk_coarse`` many), because
+long-term prices are per-coarse-slot averages and planning happens at
+coarse boundaries.  Each loaded chunk keeps a ``T``-slot tail of its
+predecessor so the planner's previous-window profile lookback stays
+resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dataclass_replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.config.system import SystemConfig
+from repro.core.interfaces import Controller
+from repro.exceptions import HorizonMismatchError, InfeasibleActionError
+from repro.fleet.stream import TraceStream
+from repro.sim.batch import BatchController, BatchSimulator, _RunState
+from repro.sim.results import SimulationResult
+from repro.sim.vecstate import DelayReplay
+from repro.workload.queue import DelayStats
+
+#: Per-slot series summed into scenario totals by the aggregator.
+_SUMMED = ("cost_lt", "cost_rt", "cost_battery", "cost_waste",
+           "served_ds", "served_dt", "unserved_ds", "renewable_used",
+           "renewable_curtailed", "charge", "discharge", "waste")
+
+
+@dataclass(frozen=True)
+class StreamRunSpec:
+    """One streamed simulation request.
+
+    The duck-typed twin of :class:`~repro.sim.batch.RunSpec` for the
+    streaming engine: traces come as a replayable
+    :class:`~repro.fleet.stream.TraceStream` instead of resident
+    arrays.  ``grid_capacity`` may still be a full per-slot array (it
+    is sliced per chunk); observation-noise streams are not supported —
+    controllers observe the true streamed traces.
+    """
+
+    system: SystemConfig
+    controller: Controller
+    stream: TraceStream
+    grid_capacity: object = None
+
+
+class StreamingAggregator:
+    """O(B) result state fed one slot of ``(B,)`` arrays at a time.
+
+    Implements the recorder interface ``_step_physics`` writes to
+    (``record(**values)``), accumulating totals and extrema instead of
+    full series.  Sums advance with elementwise ``+=`` in slot order so
+    the accumulation arithmetic is reproducible from any bit-identical
+    series (see :meth:`ScenarioMetrics.from_result`).
+    """
+
+    def __init__(self, batch: int):
+        if batch < 1:
+            raise ValueError(f"need batch >= 1, got {batch}")
+        self.batch = batch
+        self._sums = {name: np.zeros(batch) for name in _SUMMED}
+        self._peak_backlog = np.zeros(batch)
+        self._final_backlog = np.zeros(batch)
+        self._battery_min = np.full(batch, np.inf)
+        self._battery_max = np.full(batch, -np.inf)
+        self._replays = [DelayReplay() for _ in range(batch)]
+        self._served_dt_buffer: list[np.ndarray] = []
+        self._slots_recorded = 0
+
+    @property
+    def cursor(self) -> int:
+        """Slots recorded so far (recorder-interface compatibility)."""
+        return self._slots_recorded
+
+    def record(self, **values: np.ndarray) -> None:
+        sums = self._sums
+        for name in _SUMMED:
+            sums[name] += values[name]
+        backlog = values["backlog"]
+        np.maximum(self._peak_backlog, backlog, out=self._peak_backlog)
+        self._final_backlog = np.array(backlog, dtype=float)
+        level = values["battery_level"]
+        np.minimum(self._battery_min, level, out=self._battery_min)
+        np.maximum(self._battery_max, level, out=self._battery_max)
+        self._served_dt_buffer.append(np.array(values["served_dt"],
+                                               dtype=float))
+        self._slots_recorded += 1
+
+    def flush_delays(self, start_slot: int,
+                     arrivals_dt: np.ndarray) -> None:
+        """Replay the buffered chunk through the FIFO delay ledgers.
+
+        ``arrivals_dt`` is the ``(B, chunk)`` block of *true*
+        delay-tolerant arrivals matching the buffered service slots.
+        """
+        if not self._served_dt_buffer:
+            return
+        served = np.stack(self._served_dt_buffer, axis=1)
+        if served.shape != arrivals_dt.shape:
+            raise ValueError(
+                f"arrivals shape {arrivals_dt.shape} does not match "
+                f"buffered service {served.shape}")
+        for index, replay in enumerate(self._replays):
+            replay.extend(start_slot, served[index], arrivals_dt[index])
+        self._served_dt_buffer.clear()
+
+    def sum(self, name: str, index: int) -> float:
+        return float(self._sums[name][index])
+
+    def delay_stats(self, index: int) -> DelayStats:
+        if self._served_dt_buffer:
+            raise RuntimeError("flush_delays() not called for the "
+                               "final chunk")
+        return self._replays[index].stats()
+
+    def scenario_metrics(self, index: int, *, controller_name: str,
+                         n_slots: int, battery_operations: int,
+                         lt_energy: float, rt_energy: float,
+                         seed: int | None = None) -> "ScenarioMetrics":
+        """Fold one scenario's aggregates into a metrics record."""
+        stats = self.delay_stats(index)
+        get = self.sum
+        cost_lt = get("cost_lt", index)
+        cost_rt = get("cost_rt", index)
+        cost_battery = get("cost_battery", index)
+        cost_waste = get("cost_waste", index)
+        total = cost_lt + cost_rt + cost_battery + cost_waste
+        served_ds = get("served_ds", index)
+        unserved_ds = get("unserved_ds", index)
+        demand_ds = served_ds + unserved_ds
+        produced = (get("renewable_used", index)
+                    + get("renewable_curtailed", index))
+        if produced == 0:
+            utilization = 1.0
+        else:
+            lost = get("renewable_curtailed", index)
+            lost += min(get("waste", index), get("renewable_used", index))
+            utilization = max(0.0, 1.0 - lost / produced)
+        return ScenarioMetrics(
+            controller_name=controller_name,
+            n_slots=n_slots,
+            cost_lt=cost_lt,
+            cost_rt=cost_rt,
+            cost_battery=cost_battery,
+            cost_waste=cost_waste,
+            total_cost=total,
+            time_avg_cost=total / n_slots,
+            avg_delay_slots=stats.average_delay,
+            worst_delay_slots=stats.max_delay,
+            served_dt_energy=stats.served_energy,
+            availability=1.0 if demand_ds == 0 else served_ds / demand_ds,
+            unserved_ds_total=unserved_ds,
+            renewable_utilization=utilization,
+            waste_mwh=get("waste", index),
+            battery_ops=battery_operations,
+            battery_throughput=(get("charge", index)
+                                + get("discharge", index)),
+            peak_backlog=float(self._peak_backlog[index]),
+            final_backlog=float(self._final_backlog[index]),
+            battery_min=float(self._battery_min[index]),
+            battery_max=float(self._battery_max[index]),
+            lt_energy=lt_energy,
+            rt_energy=rt_energy,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioMetrics:
+    """Fleet-level result record for one scenario (O(1) memory).
+
+    Field definitions mirror :class:`~repro.sim.results.SimulationResult`
+    summaries, with sums accumulated in slot order (see module
+    docstring for why that makes streamed == in-memory exact).
+    """
+
+    controller_name: str
+    n_slots: int
+    cost_lt: float
+    cost_rt: float
+    cost_battery: float
+    cost_waste: float
+    total_cost: float
+    time_avg_cost: float
+    avg_delay_slots: float
+    worst_delay_slots: int
+    served_dt_energy: float
+    availability: float
+    unserved_ds_total: float
+    renewable_utilization: float
+    waste_mwh: float
+    battery_ops: int
+    battery_throughput: float
+    peak_backlog: float
+    final_backlog: float
+    battery_min: float
+    battery_max: float
+    lt_energy: float
+    rt_energy: float
+    seed: int | None = None
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (what the result store persists)."""
+        out = {}
+        for name, value in self.__dict__.items():
+            if isinstance(value, (np.floating, np.integer)):
+                value = value.item()
+            out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioMetrics":
+        return cls(**data)
+
+    @classmethod
+    def from_result(cls, result: SimulationResult,
+                    seed: int | None = None) -> "ScenarioMetrics":
+        """The same metrics computed from an in-memory result.
+
+        Feeds the recorded series through a batch-of-one
+        :class:`StreamingAggregator` slot by slot, so every sum uses
+        the identical accumulation order as the streamed engine —
+        bit-identical series therefore produce bit-identical metrics.
+        Delay statistics are copied from the result's ledger (already
+        exact across engines by the PR-1 contract).
+        """
+        series = result.series
+        n_slots = result.n_slots
+        aggregator = StreamingAggregator(1)
+        needed = (*_SUMMED, "backlog", "battery_level")
+        columns = {name: series[name] for name in needed}
+        for slot in range(n_slots):
+            aggregator.record(**{name: column[slot:slot + 1]
+                                 for name, column in columns.items()})
+        # The result's delay ledger is authoritative; skip the replay.
+        aggregator._served_dt_buffer.clear()
+        metrics = aggregator.scenario_metrics(
+            0, controller_name=result.controller_name, n_slots=n_slots,
+            battery_operations=int(result.battery_operations),
+            lt_energy=float(result.lt_energy),
+            rt_energy=float(result.rt_energy), seed=seed)
+        stats = result.delay_stats
+        return dataclass_replace(
+            metrics,
+            avg_delay_slots=stats.average_delay,
+            worst_delay_slots=stats.max_delay,
+            served_dt_energy=stats.served_energy,
+        )
+
+
+class StreamingBatchSimulator(BatchSimulator):
+    """Chunk-at-a-time batch engine over :class:`StreamRunSpec` fleets.
+
+    ``chunk_coarse`` sets how many coarse slots of trace data are
+    resident per scenario at any time (plus a ``T``-slot planning
+    tail).  Returns one :class:`ScenarioMetrics` per spec, in order.
+    """
+
+    def __init__(self, runs: Sequence[StreamRunSpec],
+                 controller: BatchController | None = None,
+                 *, chunk_coarse: int = 4):
+        self._init_group(runs, controller)
+        if chunk_coarse < 1:
+            raise ValueError(
+                f"chunk_coarse must be >= 1, got {chunk_coarse}")
+        for run in self.runs:
+            if run.stream.n_slots < self._n_slots:
+                raise HorizonMismatchError(
+                    f"stream covers {run.stream.n_slots} slots but the "
+                    f"system horizon needs {self._n_slots}")
+            if run.grid_capacity is not None:
+                capacity = np.asarray(run.grid_capacity, dtype=float)
+                if capacity.size < self._n_slots:
+                    raise HorizonMismatchError(
+                        f"grid capacity covers {capacity.size} slots "
+                        f"but the horizon needs {self._n_slots}")
+                if np.any(capacity < 0):
+                    raise ValueError("grid capacity must be >= 0")
+        self._chunk_slots = chunk_coarse * self._t_slots
+        self._seeds: list[int | None] = [
+            getattr(run.stream, "seed", None) for run in self.runs]
+
+    def _make_recorder(self) -> StreamingAggregator:
+        return StreamingAggregator(self._batch)
+
+    # ------------------------------------------------------------------
+    # Chunk loading
+    # ------------------------------------------------------------------
+
+    def _load_chunk(self, start: int, stop: int, cursors,
+                    tail: dict[str, np.ndarray] | None
+                    ) -> dict[str, np.ndarray]:
+        """Load trace columns for ``[start, stop)`` (+ planning tail).
+
+        Returns the next tail (the last ``T`` columns) and leaves the
+        engine's column arrays and window offsets pointing at the new
+        chunk.  Observed == true for streamed runs, so both views
+        alias one set of arrays.
+        """
+        t_slots = self._t_slots
+        windows = [cursor.read(stop - start) for cursor in cursors]
+
+        def stack(name: str, select) -> np.ndarray:
+            block = np.stack([np.asarray(select(w), dtype=float)
+                              for w in windows])
+            if tail is None:
+                return block
+            return np.concatenate([tail[name], block], axis=1)
+
+        self._true_dds = stack("demand_ds", lambda w: w.demand_ds)
+        self._true_ddt = stack("demand_dt", lambda w: w.demand_dt)
+        self._true_ren = stack("renewable", lambda w: w.renewable)
+        self._true_prt = stack("price_rt", lambda w: w.price_rt)
+        self._obs_dds = self._true_dds
+        self._obs_ddt = self._true_ddt
+        self._obs_ren = self._true_ren
+        self._obs_prt = self._true_prt
+
+        self._true_plt = np.stack(
+            [w.coarse_prices(t_slots) for w in windows])
+        self._obs_plt = self._true_plt
+        self._coarse0 = start // t_slots
+        self._slot0 = start if tail is None else start - t_slots
+
+        rows = []
+        for index, run in enumerate(self.runs):
+            if run.grid_capacity is None:
+                rows.append(np.full(stop - self._slot0,
+                                    self.systems[index].p_grid))
+            else:
+                capacity = np.asarray(run.grid_capacity, dtype=float)
+                rows.append(capacity[self._slot0:stop])
+        self._capacity = np.stack(rows)
+
+        self._check_chunk_prices(start)
+        return {
+            "demand_ds": self._true_dds[:, -t_slots:],
+            "demand_dt": self._true_ddt[:, -t_slots:],
+            "renewable": self._true_ren[:, -t_slots:],
+            "price_rt": self._true_prt[:, -t_slots:],
+        }
+
+    def _check_chunk_prices(self, start: int) -> None:
+        """Chunkwise twin of ``BatchSimulator._check_prices``.
+
+        Same exception on the same offending values; the only
+        difference is *when* it fires (as the bad chunk loads, rather
+        than before slot 0).
+        """
+        local = start - self._slot0
+        for index, system in enumerate(self.systems):
+            cap = system.p_max * (1 + 1e-9)
+            for name, series in (
+                    ("real-time", self._true_prt[index, local:]),
+                    ("long-term", self._true_plt[index])):
+                lo, hi = float(series.min()), float(series.max())
+                if not (0 <= lo and hi <= cap):
+                    raise InfeasibleActionError(
+                        f"{name}: price outside [0, {system.p_max}] "
+                        f"(observed range [{lo}, {hi}])")
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> list[ScenarioMetrics]:
+        """Stream every scenario over the horizon, chunk by chunk."""
+        state = self._begin_run()
+        cursors = [run.stream.open() for run in self.runs]
+        tail: dict[str, np.ndarray] | None = None
+        for start in range(0, self._n_slots, self._chunk_slots):
+            stop = min(start + self._chunk_slots, self._n_slots)
+            tail = self._load_chunk(start, stop, cursors, tail)
+            for slot in range(start, stop):
+                self._advance_slot(slot, state)
+            state.recorder.flush_delays(
+                start, self._true_ddt[:, start - self._slot0:])
+        return self._finish_run(state)
+
+    def _collect(self, recorder: StreamingAggregator, cycles, lt_ledger,
+                 rt_ledger) -> list[ScenarioMetrics]:
+        names = self.controller.names
+        return [
+            recorder.scenario_metrics(
+                index,
+                controller_name=names[index],
+                n_slots=self._n_slots,
+                battery_operations=int(cycles.operations[index]),
+                lt_energy=float(lt_ledger.energy[index]),
+                rt_energy=float(rt_ledger.energy[index]),
+                seed=self._seeds[index],
+            )
+            for index in range(self._batch)
+        ]
+
+
+def simulate_stream(runs: Sequence[StreamRunSpec],
+                    chunk_coarse: int = 4) -> list[ScenarioMetrics]:
+    """Convenience wrapper mirroring :func:`repro.sim.batch.simulate_many`."""
+    return StreamingBatchSimulator(runs, chunk_coarse=chunk_coarse).run()

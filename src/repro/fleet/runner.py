@@ -1,0 +1,289 @@
+"""Sharded fleet execution: whole vectorized batches per worker.
+
+Two entry points live here:
+
+* :class:`FleetRunner` — the fleet front door.  Takes declarative
+  :class:`~repro.fleet.spec.ScenarioSpec` fleets, groups
+  batch-compatible specs, splits every group into shards of at most
+  ``batch_size`` scenarios, and runs each shard through one engine
+  invocation — the memory-bounded
+  :class:`~repro.fleet.engine.StreamingBatchSimulator` where the spec
+  allows it, the in-memory :class:`~repro.sim.batch.BatchSimulator`
+  otherwise.  With ``max_workers > 1`` shards ship to a process pool
+  (each worker rebuilds traces locally from the few-hundred-byte spec,
+  so no trace arrays cross the process boundary) and finished shards
+  stream back incrementally into the optional
+  :class:`~repro.fleet.store.ResultStore`.
+
+* :func:`simulate_many_process` — the engine behind
+  ``simulate_many(..., executor="process")``.  It shards *in-memory*
+  :class:`~repro.sim.batch.RunSpec` groups across workers, so the
+  legacy entry point multiplies process fan-out with vectorization
+  instead of silently degrading to per-run scalar simulation.  Results
+  are bit-identical to ``executor="batch"``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.fleet.engine import (
+    ScenarioMetrics,
+    StreamingBatchSimulator,
+    StreamRunSpec,
+)
+from repro.fleet.spec import ScenarioSpec
+from repro.sim.batch import RunSpec, run_group_batch
+from repro.sim.results import SimulationResult
+
+#: Default scenarios per engine invocation (one vectorized batch).
+DEFAULT_BATCH_SIZE = 64
+
+#: Default coarse slots of trace data resident per scenario.
+DEFAULT_CHUNK_COARSE = 4
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _split_shards(indices: Sequence[int], shard_size: int) -> list[list[int]]:
+    """Split one group's indices into shards of at most ``shard_size``."""
+    if shard_size < 1:
+        raise ValueError(f"shard size must be >= 1, got {shard_size}")
+    return [list(indices[start:start + shard_size])
+            for start in range(0, len(indices), shard_size)]
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One finished shard: input positions + per-scenario records."""
+
+    indices: tuple[int, ...]
+    records: tuple[dict, ...]
+    engine: str
+    elapsed_s: float
+
+
+def _run_spec_shard(payload: dict) -> ShardOutcome:
+    """Module-level worker: run one shard of serialized specs.
+
+    Rebuilds every spec locally (system, controller, trace source) and
+    advances the whole shard through one engine invocation.  Returns
+    JSON-ready records so the parent can append them to the store
+    without touching numpy state.
+    """
+    t0 = time.perf_counter()
+    specs = [ScenarioSpec.from_dict(data) for data in payload["specs"]]
+    chunk_coarse = int(payload["chunk_coarse"])
+    streamable = bool(payload["streamable"])
+
+    if streamable:
+        runs = []
+        for spec in specs:
+            system = spec.build_system()
+            runs.append(StreamRunSpec(
+                system=system,
+                controller=spec.build_controller(),
+                stream=spec.open_stream(system)))
+        metrics = StreamingBatchSimulator(
+            runs, chunk_coarse=chunk_coarse).run()
+        engine = "stream"
+    else:
+        run_specs = []
+        for spec in specs:
+            system = spec.build_system()
+            traces = spec.build_traces(system)
+            run_specs.append(RunSpec(
+                system=system,
+                controller=spec.build_controller(traces),
+                traces=traces))
+        results = run_group_batch(run_specs)
+        metrics = [ScenarioMetrics.from_result(result, seed=spec.seed)
+                   for spec, result in zip(specs, results)]
+        engine = "batch"
+
+    records = tuple(
+        {
+            "name": spec.name,
+            "value": spec.value,
+            "seed": spec.seed,
+            "controller": spec.controller_kind,
+            "engine": engine,
+            "spec": spec.to_dict(),
+            "metrics": m.as_dict(),
+        }
+        for spec, m in zip(specs, metrics))
+    return ShardOutcome(indices=tuple(payload["indices"]),
+                        records=records, engine=engine,
+                        elapsed_s=time.perf_counter() - t0)
+
+
+class FleetRunner:
+    """Runs a fleet of scenario specs with sharded vectorized batches.
+
+    Parameters
+    ----------
+    specs:
+        The fleet, in the order results should come back.
+    batch_size:
+        Maximum scenarios per engine invocation (and per worker task).
+    chunk_coarse:
+        Coarse slots of trace data resident per scenario on the
+        streamed path.
+    max_workers:
+        ``None`` or ``<= 1`` runs shards in-process; larger values run
+        them on a process pool of that size.
+    store:
+        Optional :class:`~repro.fleet.store.ResultStore`; finished
+        shards append to it *incrementally*, so a long sweep's results
+        survive interruption.
+    """
+
+    def __init__(self, specs: Iterable[ScenarioSpec], *,
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 chunk_coarse: int = DEFAULT_CHUNK_COARSE,
+                 max_workers: int | None = None,
+                 store=None):
+        self.specs = list(specs)
+        if not self.specs:
+            raise ValueError("fleet has no scenarios")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        self.chunk_coarse = chunk_coarse
+        self.max_workers = max_workers
+        self.store = store
+        self._payloads: list[dict] | None = None
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def shards(self) -> list[dict]:
+        """Group compatible specs, then split groups into payloads.
+
+        The plan is deterministic in the (immutable) spec list, so it
+        is computed once and cached — callers can inspect it before
+        :meth:`run` without paying the planning pass twice.
+        """
+        if self._payloads is not None:
+            return self._payloads
+        groups: dict[tuple, list[int]] = {}
+        for index, spec in enumerate(self.specs):
+            groups.setdefault(spec.group_key(), []).append(index)
+        payloads = []
+        for key, indices in groups.items():
+            for shard in _split_shards(indices, self.batch_size):
+                payloads.append({
+                    "indices": shard,
+                    "specs": [self.specs[i].to_dict() for i in shard],
+                    "chunk_coarse": self.chunk_coarse,
+                    "streamable": bool(key[-1]),
+                })
+        self._payloads = payloads
+        return payloads
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, progress: Callable[[ShardOutcome, int, int], None]
+            | None = None) -> list[dict]:
+        """Execute the fleet; returns records in spec order.
+
+        ``progress`` (optional) is called after every finished shard
+        with ``(outcome, finished_shards, total_shards)``.
+        """
+        payloads = self.shards()
+        total = len(payloads)
+        records: list[dict | None] = [None] * len(self.specs)
+        finished = 0
+
+        def sink(outcome: ShardOutcome) -> None:
+            nonlocal finished
+            finished += 1
+            for index, record in zip(outcome.indices, outcome.records):
+                records[index] = record
+            if self.store is not None:
+                self.store.append(outcome.records)
+            if progress is not None:
+                progress(outcome, finished, total)
+
+        workers = self.max_workers
+        if workers is None or workers <= 1:
+            for payload in payloads:
+                sink(_run_spec_shard(payload))
+        else:
+            workers = min(workers, total) or 1
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                pending = {pool.submit(_run_spec_shard, payload)
+                           for payload in payloads}
+                while pending:
+                    done, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                    for future in done:
+                        sink(future.result())
+        return records  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Process-sharded execution of in-memory RunSpec lists
+# ----------------------------------------------------------------------
+
+
+def simulate_many_process(runs: Sequence[RunSpec],
+                          max_workers: int | None = None
+                          ) -> list[SimulationResult]:
+    """Shard batch groups of in-memory runs across a process pool.
+
+    The grouping is exactly ``simulate_many(..., executor="batch")``'s;
+    each group is split into roughly per-worker shards and every shard
+    advances through one vectorized :class:`BatchSimulator` in its
+    worker (singleton shards run the scalar engine, as the batch
+    executor does) — so results are bit-identical to the ``"batch"``
+    and ``"serial"`` executors while using every core.
+    """
+    from repro.sim.batch import _group_key  # late: avoid import cycle
+
+    runs = list(runs)
+    if not runs:
+        return []
+    workers = max_workers or _cpu_count()
+
+    groups: dict[object, list[int]] = {}
+    for index, run in enumerate(runs):
+        groups.setdefault(_group_key(run), []).append(index)
+
+    # Split each group proportionally so ~``workers`` shards exist in
+    # total and every shard still amortizes vectorization.
+    shards: list[list[int]] = []
+    for indices in groups.values():
+        share = max(1, round(len(indices) * workers / len(runs)))
+        shard_size = math.ceil(len(indices) / share)
+        shards.extend(_split_shards(indices, shard_size))
+
+    results: list[SimulationResult | None] = [None] * len(runs)
+    if workers <= 1 or len(shards) <= 1:
+        for shard in shards:
+            for index, result in zip(
+                    shard, run_group_batch([runs[i] for i in shard])):
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+    with ProcessPoolExecutor(max_workers=min(workers, len(shards))) as pool:
+        futures = {
+            pool.submit(run_group_batch, [runs[i] for i in shard]): shard
+            for shard in shards}
+        for future, shard in futures.items():
+            for index, result in zip(shard, future.result()):
+                results[index] = result
+    return results  # type: ignore[return-value]

@@ -1,0 +1,392 @@
+"""Declarative, serializable scenario specifications.
+
+A :class:`ScenarioSpec` is everything needed to reproduce one
+simulation — system parameters, controller configuration, a trace
+*recipe* and a seed — as plain JSON-able data.  Fleets of specs are
+what the :class:`~repro.fleet.runner.FleetRunner` ships to worker
+processes (a few hundred bytes each, instead of megabytes of pickled
+trace arrays) and what the result store records next to every metric
+row, so any fleet row can be re-run exactly.
+
+Spec layout
+-----------
+``system``
+    Either ``{"preset": "paper", **kwargs}`` (forwarded to
+    :func:`~repro.config.presets.paper_system_config`) or raw
+    :class:`~repro.config.system.SystemConfig` field overrides.
+``controller``
+    ``{"kind": <kind>, **options}`` with kinds ``smartdpss``,
+    ``impatient``, ``myopic``, ``lookahead``, ``offline``.  Options for
+    ``smartdpss`` are :class:`~repro.config.control.SmartDPSSConfig`
+    fields.  ``lookahead`` / ``offline`` are oracle policies that need
+    the whole horizon up front, so they force the in-memory engine.
+``trace``
+    ``{"kind": "stream" | "paper", **options}``.  ``stream`` builds a
+    chunked :class:`~repro.fleet.stream.StreamingPaperTraces` (the
+    memory-bounded path); ``paper`` materializes
+    :func:`~repro.traces.library.make_paper_traces` (the exact trace
+    family of the repo's figures).  Optional ``demand`` / ``solar`` /
+    ``price`` sub-dicts override the component model fields; an
+    explicit ``seed`` overrides the spec seed.
+
+Generators
+----------
+:func:`grid_specs`, :func:`product_specs` and :func:`sample_specs`
+expand a template spec along dotted axis paths
+(``"controller.v"``, ``"trace.solar.capacity_mw"``, ``"system.days"``)
+into scenario-diverse fleets far beyond the paper's figures — crossed
+with seed replicas for the aggregation layer to average back out.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.config.control import SmartDPSSConfig
+from repro.config.presets import paper_system_config
+from repro.config.system import SystemConfig
+from repro.core.interfaces import Controller
+from repro.core.smartdpss import SmartDPSS
+from repro.exceptions import ConfigurationError
+from repro.fleet.stream import (
+    ArrayTraceStream,
+    StreamingPaperTraces,
+    TraceStream,
+)
+from repro.rng import DEFAULT_SEED, make_rng, substream_seed
+from repro.traces.base import TraceSet
+from repro.traces.demand import DemandModel
+from repro.traces.library import make_paper_traces
+from repro.traces.prices import PriceModel
+from repro.traces.solar import SolarModel
+
+#: Controller kinds buildable from a spec.
+CONTROLLER_KINDS = ("smartdpss", "impatient", "myopic", "lookahead",
+                    "offline")
+
+#: Kinds that decide online, without the full horizon in hand — the
+#: ones eligible for the memory-bounded streamed engine.
+STREAMABLE_CONTROLLERS = frozenset({"smartdpss", "impatient", "myopic"})
+
+#: Trace recipe kinds.
+TRACE_KINDS = ("stream", "paper")
+
+
+def _controller_factory(kind: str) -> Callable:
+    if kind == "smartdpss":
+        return lambda options, traces: SmartDPSS(
+            SmartDPSSConfig(**options))
+    if kind == "impatient":
+        from repro.baselines.impatient import ImpatientController
+
+        return lambda options, traces: ImpatientController(**options)
+    if kind == "myopic":
+        from repro.baselines.myopic import MyopicPriceThreshold
+
+        return lambda options, traces: MyopicPriceThreshold(**options)
+    if kind == "lookahead":
+        from repro.baselines.lookahead import LookaheadController
+
+        return lambda options, traces: LookaheadController(
+            traces, **options)
+    if kind == "offline":
+        from repro.baselines.offline import OfflineOptimal
+
+        return lambda options, traces: OfflineOptimal(traces, **options)
+    raise ConfigurationError(
+        f"unknown controller kind {kind!r}; expected one of "
+        f"{CONTROLLER_KINDS}")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative scenario: system + controller + traces + seed."""
+
+    seed: int = DEFAULT_SEED
+    value: object = None
+    name: str = ""
+    system: Mapping[str, object] = field(default_factory=dict)
+    controller: Mapping[str, object] = field(
+        default_factory=lambda: {"kind": "smartdpss"})
+    trace: Mapping[str, object] = field(
+        default_factory=lambda: {"kind": "stream"})
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def controller_kind(self) -> str:
+        return str(self.controller.get("kind", "smartdpss"))
+
+    @property
+    def trace_kind(self) -> str:
+        return str(self.trace.get("kind", "stream"))
+
+    @property
+    def trace_seed(self) -> int:
+        return int(self.trace.get("seed", self.seed))
+
+    @property
+    def streamable(self) -> bool:
+        """Whether the memory-bounded streamed engine can run this."""
+        return (self.trace_kind == "stream"
+                and self.controller_kind in STREAMABLE_CONTROLLERS)
+
+    def group_key(self) -> tuple:
+        """Batch-compatibility key (see ``BatchSimulator`` shape rule).
+
+        Specs sharing a key advance in one vectorized batch: same
+        two-timescale shape and the same controller family (SmartDPSS
+        additionally needs one P5 objective mode per batch).
+        """
+        system = self.build_system()
+        shape = (system.fine_slots_per_coarse, system.num_coarse_slots,
+                 system.slot_hours)
+        kind = self.controller_kind
+        mode = None
+        if kind == "smartdpss":
+            mode = str(self.controller.get("objective_mode", "derived"))
+        return (*shape, kind, mode, self.streamable)
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+
+    def build_system(self) -> SystemConfig:
+        options = dict(self.system)
+        preset = options.pop("preset", "paper")
+        if preset == "paper":
+            return paper_system_config(**options)
+        if preset == "raw":
+            return SystemConfig(**options)
+        raise ConfigurationError(
+            f"unknown system preset {preset!r} (use 'paper' or 'raw')")
+
+    def _model_overrides(self, system: SystemConfig):
+        options = dict(self.trace)
+        options.pop("kind", None)
+        options.pop("seed", None)
+        demand = options.pop("demand", {})
+        solar = options.pop("solar", {})
+        price = options.pop("price", {})
+        if options:
+            raise ConfigurationError(
+                f"unknown trace options {sorted(options)}")
+        demand_model = DemandModel(d_dt_max=system.d_dt_max,
+                                   slot_hours=system.slot_hours,
+                                   **demand)
+        solar_model = SolarModel(slot_hours=system.slot_hours, **solar)
+        price_model = PriceModel(price_cap=system.p_max,
+                                 slot_hours=system.slot_hours, **price)
+        return demand_model, solar_model, price_model
+
+    def open_stream(self, system: SystemConfig | None = None
+                    ) -> TraceStream:
+        """Build the trace source this spec describes."""
+        system = system or self.build_system()
+        kind = self.trace_kind
+        if kind == "stream":
+            demand_model, solar_model, price_model = \
+                self._model_overrides(system)
+            return StreamingPaperTraces(
+                n_slots=system.horizon_slots,
+                seed=self.trace_seed,
+                demand_model=demand_model,
+                solar_model=solar_model,
+                price_model=price_model,
+                clip_p_grid=system.p_grid if system.p_grid > 0 else None)
+        if kind == "paper":
+            demand_model, solar_model, price_model = \
+                self._model_overrides(system)
+            return ArrayTraceStream(make_paper_traces(
+                system, seed=self.trace_seed,
+                demand_model=demand_model,
+                solar_model=solar_model,
+                price_model=price_model))
+        raise ConfigurationError(
+            f"unknown trace kind {kind!r}; expected one of {TRACE_KINDS}")
+
+    def build_traces(self, system: SystemConfig | None = None) -> TraceSet:
+        """Materialize the full trace horizon (in-memory path)."""
+        return self.open_stream(system).materialize()
+
+    def build_controller(self, traces: TraceSet | None = None
+                         ) -> Controller:
+        """Instantiate the controller (oracles receive ``traces``)."""
+        options = dict(self.controller)
+        kind = str(options.pop("kind", "smartdpss"))
+        if kind in ("lookahead", "offline") and traces is None:
+            raise ConfigurationError(
+                f"{kind!r} is an oracle controller and needs the "
+                f"materialized traces")
+        return _controller_factory(kind)(options, traces)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "value": self.value,
+            "name": self.name,
+            "system": dict(self.system),
+            "controller": dict(self.controller),
+            "trace": dict(self.trace),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":
+        known = {"seed", "value", "name", "system", "controller", "trace"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ScenarioSpec fields {sorted(unknown)}")
+        return cls(
+            seed=int(data.get("seed", DEFAULT_SEED)),
+            value=data.get("value"),
+            name=str(data.get("name", "")),
+            system=dict(data.get("system", {})),
+            controller=dict(data.get("controller",
+                                     {"kind": "smartdpss"})),
+            trace=dict(data.get("trace", {"kind": "stream"})),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(payload))
+
+
+# ----------------------------------------------------------------------
+# Fleet generators
+# ----------------------------------------------------------------------
+
+
+def _with_path(spec: ScenarioSpec, path: str, value) -> ScenarioSpec:
+    """Functionally set a dotted path on a spec's nested dicts."""
+    head, _, rest = path.partition(".")
+    if head not in ("system", "controller", "trace"):
+        raise ConfigurationError(
+            f"axis path must start with system/controller/trace, got "
+            f"{path!r}")
+    if not rest:
+        raise ConfigurationError(
+            f"axis path {path!r} needs a field after {head!r}")
+    nested = dict(getattr(spec, head))
+    keys = rest.split(".")
+    cursor = nested
+    for key in keys[:-1]:
+        cursor[key] = dict(cursor.get(key, {}))
+        cursor = cursor[key]
+    cursor[keys[-1]] = value
+    data = spec.to_dict()
+    data[head] = nested
+    return ScenarioSpec.from_dict(data)
+
+
+def _describe(values: Mapping[str, object]) -> str:
+    return ",".join(f"{path.rsplit('.', 1)[-1]}={value}"
+                    for path, value in values.items())
+
+
+def _expand(template: ScenarioSpec,
+            assignment: Mapping[str, object],
+            seed: int) -> ScenarioSpec:
+    spec = template
+    for path, value in assignment.items():
+        spec = _with_path(spec, path, value)
+    if len(assignment) == 1:
+        value = next(iter(assignment.values()))
+    else:
+        value = dict(assignment)
+    data = spec.to_dict()
+    data["seed"] = seed
+    data["value"] = value
+    data["name"] = f"{_describe(assignment)}/seed={seed}"
+    return ScenarioSpec.from_dict(data)
+
+
+def grid_specs(template: ScenarioSpec, axis: str,
+               values: Sequence[object],
+               seeds: Sequence[int] = (0,)) -> list[ScenarioSpec]:
+    """One-axis sweep × seed replicas (``len(values) · len(seeds)``)."""
+    return product_specs(template, {axis: values}, seeds)
+
+
+def product_specs(template: ScenarioSpec,
+                  axes: Mapping[str, Sequence[object]],
+                  seeds: Sequence[int] = (0,)) -> list[ScenarioSpec]:
+    """Cartesian product over axis values × seed replicas.
+
+    Iteration order is deterministic: axes in the given order (the
+    last axis varying fastest), then seeds innermost — matching how
+    ``Sweep`` lays out (value, seed) runs.
+    """
+    if not axes:
+        raise ValueError("need at least one axis")
+    if not seeds:
+        raise ValueError("need at least one seed")
+    paths = list(axes)
+    specs = []
+    for combo in itertools.product(*(axes[path] for path in paths)):
+        assignment = dict(zip(paths, combo))
+        for seed in seeds:
+            specs.append(_expand(template, assignment, seed))
+    return specs
+
+
+def sample_specs(template: ScenarioSpec,
+                 space: Mapping[str, object],
+                 n_scenarios: int,
+                 seed: int = 0) -> list[ScenarioSpec]:
+    """Random fleet: ``n_scenarios`` draws from an axis space.
+
+    ``space`` maps dotted paths to either ``(low, high)`` tuples
+    (uniform floats; log-uniform when both bounds are positive and the
+    ratio exceeds 20×) or explicit value lists (uniform choice).  Each
+    scenario also gets its own trace seed, so the fleet is
+    scenario-diverse in both parameters and realizations while staying
+    fully reproducible from ``seed``.
+    """
+    if n_scenarios < 1:
+        raise ValueError(f"need n_scenarios >= 1, got {n_scenarios}")
+    rng = make_rng(seed, "fleet:sample")
+    specs = []
+    for index in range(n_scenarios):
+        assignment: dict[str, object] = {}
+        for path, axis in space.items():
+            if isinstance(axis, tuple) and len(axis) == 2 \
+                    and all(isinstance(v, (int, float)) for v in axis):
+                low, high = float(axis[0]), float(axis[1])
+                if low > high:
+                    raise ValueError(
+                        f"{path}: low {low} > high {high}")
+                if low > 0 and high / low > 20.0:
+                    draw = float(np.exp(rng.uniform(np.log(low),
+                                                    np.log(high))))
+                else:
+                    draw = float(rng.uniform(low, high))
+                assignment[path] = draw
+            else:
+                values = list(axis)
+                assignment[path] = values[int(rng.integers(len(values)))]
+        # Scenario (trace) seeds derive from the root seed too, so two
+        # fleets sampled with different roots are independent in their
+        # realizations, not just their parameters.
+        scenario_seed = substream_seed(seed, f"fleet:scenario[{index}]")
+        spec = _expand(template, assignment, seed=scenario_seed)
+        data = spec.to_dict()
+        data["name"] = f"sample[{index}]"
+        data["value"] = {path.rsplit(".", 1)[-1]: value
+                        for path, value in assignment.items()}
+        specs.append(ScenarioSpec.from_dict(data))
+    return specs

@@ -1,0 +1,161 @@
+"""Append-only on-disk result sink with seed-replicated aggregation.
+
+A :class:`ResultStore` is a directory holding one JSON-lines file
+(``results.jsonl``) plus a small ``meta.json``.  Writers only ever
+*append* whole lines (each line is one scenario record as produced by
+:mod:`repro.fleet.runner`), so
+
+* a crashed or interrupted sweep keeps every finished shard,
+* concurrent readers see a consistent prefix,
+* re-running a sweep into the same store accumulates more seed
+  replicas instead of clobbering anything.
+
+:meth:`ResultStore.sweep_table` folds the records back into the
+familiar :class:`~repro.sim.sweep.SweepTable` — grouping by each
+record's ``value`` (the sweep-axis value its spec carried) and
+averaging metrics across the records that share it (the seed
+replicas) — so fleet output plugs into the same tabulation and
+monotonicity checks the figure experiments use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.sim.sweep import SweepPoint, SweepTable
+
+#: Metrics shown by default in aggregated tables (fleet-record keys).
+DEFAULT_TABLE_METRICS = ("time_avg_cost", "avg_delay_slots",
+                         "worst_delay_slots", "availability",
+                         "waste_mwh", "battery_ops")
+
+_RESULTS_NAME = "results.jsonl"
+_META_NAME = "meta.json"
+
+
+class ResultStore:
+    """Directory-backed, append-only scenario-result sink."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._results_path = self.root / _RESULTS_NAME
+        self._meta_path = self.root / _META_NAME
+        if not self._meta_path.exists():
+            self._meta_path.write_text(
+                json.dumps({"format": "repro-fleet-results", "version": 1})
+                + "\n", encoding="utf-8")
+
+    @property
+    def path(self) -> Path:
+        """The JSONL file records land in."""
+        return self._results_path
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, records: Iterable[Mapping]) -> int:
+        """Append records as JSON lines; returns how many were written.
+
+        Lines are serialized first and written in one call, so a
+        failure mid-serialization leaves the file untouched.  If a
+        previous writer died mid-line (no trailing newline), the new
+        batch starts on a fresh line so the torn fragment stays
+        isolated instead of gluing onto the first new record.
+        """
+        lines = [json.dumps(dict(record), sort_keys=True)
+                 for record in records]
+        if not lines:
+            return 0
+        prefix = ""
+        if self._results_path.exists() \
+                and self._results_path.stat().st_size > 0:
+            with self._results_path.open("rb") as handle:
+                handle.seek(-1, 2)
+                if handle.read(1) != b"\n":
+                    prefix = "\n"
+        with self._results_path.open("a", encoding="utf-8") as handle:
+            handle.write(prefix + "\n".join(lines) + "\n")
+            handle.flush()
+        return len(lines)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[dict]:
+        """Valid records in append order; torn lines are skipped.
+
+        A crashed writer can leave a partial line (a torn tail — or,
+        once later appends started a fresh line after it, a torn line
+        mid-file).  Every complete record is one intact line, so
+        readers keep all of them and skip the fragments, like a
+        write-ahead log.
+        """
+        if not self._results_path.exists():
+            return
+        with self._results_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write; complete records are intact
+                yield record
+
+    def records(self) -> list[dict]:
+        """All records, in append order."""
+        return list(self)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def sweep_table(self, name: str = "fleet sweep",
+                    metrics: Sequence[str] | None = None) -> SweepTable:
+        """Seed-replicated aggregation into a :class:`SweepTable`.
+
+        Records are grouped by their ``value`` field (first-seen
+        order); each group's metric vectors are averaged over its
+        records — one :class:`SweepPoint` per distinct value.
+        """
+        metric_names = tuple(metrics or DEFAULT_TABLE_METRICS)
+        order: list[str] = []
+        values: dict[str, object] = {}
+        totals: dict[str, dict[str, float]] = {}
+        counts: dict[str, int] = {}
+        for record in self:
+            key = json.dumps(record.get("value"), sort_keys=True)
+            if key not in totals:
+                order.append(key)
+                values[key] = record.get("value")
+                totals[key] = {metric: 0.0 for metric in metric_names}
+                counts[key] = 0
+            row = record.get("metrics", {})
+            missing = [m for m in metric_names if m not in row]
+            if missing:
+                raise KeyError(
+                    f"record for value {record.get('value')!r} lacks "
+                    f"metrics {missing}")
+            for metric in metric_names:
+                totals[key][metric] += float(row[metric])
+            counts[key] += 1
+        if not order:
+            raise ValueError(f"result store {self.root} is empty")
+        points = tuple(
+            SweepPoint(
+                value=values[key],
+                metrics={metric: totals[key][metric] / counts[key]
+                         for metric in metric_names},
+                n_seeds=counts[key])
+            for key in order)
+        return SweepTable(name=name, points=points,
+                          metric_names=metric_names)

@@ -1,0 +1,296 @@
+"""Streaming trace sources: seed-deterministic chunked generation.
+
+Every engine before this subsystem preloaded full horizons, so fleet
+memory grew as ``O(B · horizon)``.  A :class:`TraceStream` instead
+materializes :class:`~repro.traces.base.TraceSet` *windows* on demand:
+the streaming batch engine (:mod:`repro.fleet.engine`) consumes one
+chunk of columns at a time and peak memory scales with the chunk size.
+
+Two sources are provided:
+
+* :class:`StreamingPaperTraces` — the paper's synthetic trace family
+  regenerated chunk by chunk.  Each stochastic sub-process (demand
+  noise, batch arrivals, cloud regimes, solar jitter, solar noise, the
+  two price processes) draws from its *own* named substream
+  (:mod:`repro.rng`) and threads explicit carry state
+  (:class:`~repro.traces.demand.DemandChunkState` and friends) across
+  chunks, so the concatenation of sequential windows is **bit-identical
+  for every chunk size** — including one window covering the whole
+  horizon.  That invariance is what lets ``tests/equivalence/`` compare
+  the streamed engine against the in-memory engine exactly.
+
+  Note the draw *interleaving* differs from
+  :func:`~repro.traces.library.make_paper_traces` (which shares one
+  generator per component), so the ``"stream"`` family is its own
+  deterministic trace universe: same statistics, different realization
+  per seed.
+
+* :class:`ArrayTraceStream` — wraps an already-materialized
+  :class:`TraceSet` so in-memory recipes flow through the same cursor
+  protocol (no memory savings; used for oracle controllers and the
+  ``"paper"`` recipe).
+
+Windows are served strictly in order — the simulation consumes slots
+sequentially, and sequential generation is what makes carry state
+cheap.  ``open()`` returns a fresh cursor, so one stream description
+can be replayed any number of times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import TraceError
+from repro.rng import RngFactory
+from repro.traces.base import TraceSet
+from repro.traces.demand import (
+    DemandChunkState,
+    DemandModel,
+    GoogleClusterDemandGenerator,
+)
+from repro.traces.prices import (
+    NyisoLikePriceGenerator,
+    PriceChunkState,
+    PriceModel,
+)
+from repro.traces.scaling import clip_demand_peaks
+from repro.traces.solar import (
+    MidcLikeSolarGenerator,
+    SolarChunkState,
+    SolarModel,
+)
+
+#: Default window size (fine slots) used by ``materialize``.
+DEFAULT_MATERIALIZE_CHUNK = 256
+
+
+class TraceCursor:
+    """Sequential reader over one stream (abstract).
+
+    ``read(n)`` returns the next ``n`` slots as a :class:`TraceSet`
+    window; a cursor never rewinds.
+    """
+
+    def read(self, n_slots: int) -> TraceSet:
+        raise NotImplementedError
+
+    @property
+    def position(self) -> int:
+        raise NotImplementedError
+
+
+class TraceStream:
+    """A replayable chunked trace source (abstract).
+
+    Concrete streams know their horizon length and mint independent
+    sequential cursors via :meth:`open`.
+    """
+
+    @property
+    def n_slots(self) -> int:
+        raise NotImplementedError
+
+    def open(self) -> TraceCursor:
+        raise NotImplementedError
+
+    def windows(self, chunk_slots: int) -> Iterator[TraceSet]:
+        """Iterate the whole horizon in windows of ``chunk_slots``."""
+        if chunk_slots < 1:
+            raise ValueError(f"chunk must be >= 1 slot, got {chunk_slots}")
+        cursor = self.open()
+        position = 0
+        while position < self.n_slots:
+            take = min(chunk_slots, self.n_slots - position)
+            yield cursor.read(take)
+            position += take
+
+    def materialize(self,
+                    chunk_slots: int = DEFAULT_MATERIALIZE_CHUNK
+                    ) -> TraceSet:
+        """The full horizon as one :class:`TraceSet`.
+
+        Defined as the concatenation of sequential windows, which by
+        the chunk-size invariance equals the output for *any* chunking
+        — this is the in-memory reference the equivalence harness runs
+        through :class:`~repro.sim.batch.BatchSimulator`.
+        """
+        windows = list(self.windows(chunk_slots))
+        meta = dict(windows[0].meta)
+        meta.pop("peak_clip_slots", None)
+        return TraceSet(
+            demand_ds=np.concatenate([w.demand_ds for w in windows]),
+            demand_dt=np.concatenate([w.demand_dt for w in windows]),
+            renewable=np.concatenate([w.renewable for w in windows]),
+            price_rt=np.concatenate([w.price_rt for w in windows]),
+            price_lt_hourly=np.concatenate(
+                [w.price_lt_hourly for w in windows]),
+            meta=meta,
+        )
+
+
+class _ArrayCursor(TraceCursor):
+    """Cursor over a resident :class:`TraceSet`."""
+
+    def __init__(self, traces: TraceSet):
+        self._traces = traces
+        self._position = 0
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def read(self, n_slots: int) -> TraceSet:
+        start = self._position
+        stop = start + n_slots
+        if stop > self._traces.n_slots:
+            raise TraceError(
+                f"read past end of stream: [{start}, {stop}) of "
+                f"{self._traces.n_slots} slots")
+        self._position = stop
+        traces = self._traces
+        return TraceSet(
+            demand_ds=traces.demand_ds[start:stop],
+            demand_dt=traces.demand_dt[start:stop],
+            renewable=traces.renewable[start:stop],
+            price_rt=traces.price_rt[start:stop],
+            price_lt_hourly=traces.price_lt_hourly[start:stop],
+            meta=dict(traces.meta),
+        )
+
+
+class ArrayTraceStream(TraceStream):
+    """A resident :class:`TraceSet` behind the stream protocol."""
+
+    def __init__(self, traces: TraceSet):
+        self._traces = traces
+
+    @property
+    def n_slots(self) -> int:
+        return self._traces.n_slots
+
+    def open(self) -> TraceCursor:
+        return _ArrayCursor(self._traces)
+
+    def materialize(self, chunk_slots: int = DEFAULT_MATERIALIZE_CHUNK
+                    ) -> TraceSet:
+        return self._traces
+
+
+@dataclass
+class _PaperStreamState:
+    """All carry state of one :class:`StreamingPaperTraces` cursor."""
+
+    demand: DemandChunkState = field(default_factory=DemandChunkState)
+    solar: SolarChunkState = field(default_factory=SolarChunkState)
+    price: PriceChunkState = field(default_factory=PriceChunkState)
+
+
+class _PaperStreamCursor(TraceCursor):
+    """Sequential generator-backed cursor.
+
+    Holds one dedicated :class:`numpy.random.Generator` per stochastic
+    sub-process (created once, advanced strictly per slot) plus the
+    AR(1)/Markov carry state, so successive ``read`` calls continue
+    every process exactly where the previous window left it.
+    """
+
+    def __init__(self, stream: "StreamingPaperTraces"):
+        self._stream = stream
+        factory = RngFactory(stream.seed)
+        self._rng_dds = factory.stream("stream:demand_ds")
+        self._rng_ddt = factory.stream("stream:demand_dt")
+        self._rng_clouds = factory.stream("stream:solar:clouds")
+        self._rng_jitter = factory.stream("stream:solar:jitter")
+        self._rng_noise = factory.stream("stream:solar:noise")
+        self._rng_prt = factory.stream("stream:price_rt")
+        self._rng_plt = factory.stream("stream:price_lt")
+        self._state = _PaperStreamState()
+        self._position = 0
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def read(self, n_slots: int) -> TraceSet:
+        stream = self._stream
+        start = self._position
+        if start + n_slots > stream.n_slots:
+            raise TraceError(
+                f"read past end of stream: [{start}, {start + n_slots}) "
+                f"of {stream.n_slots} slots")
+        state = self._state
+        demand_gen = stream.demand_generator
+        demand_ds = demand_gen.delay_sensitive_chunk(
+            start, n_slots, self._rng_dds, state.demand)
+        demand_dt = demand_gen.delay_tolerant_chunk(
+            start, n_slots, self._rng_ddt)
+        renewable = stream.solar_generator.generate_chunk(
+            start, n_slots, self._rng_clouds, self._rng_jitter,
+            self._rng_noise, state.solar)
+        price_gen = stream.price_generator
+        price_rt = price_gen.real_time_prices_chunk(
+            start, n_slots, self._rng_prt, state.price)
+        price_lt = price_gen.forward_curve_chunk(
+            start, n_slots, self._rng_plt)
+        self._position = start + n_slots
+
+        window = TraceSet(
+            demand_ds=demand_ds,
+            demand_dt=demand_dt,
+            renewable=renewable,
+            price_rt=price_rt,
+            price_lt_hourly=price_lt,
+            meta={"seed": stream.seed, "source": "StreamingPaperTraces",
+                  "window_start": start},
+        )
+        if stream.clip_p_grid is not None and stream.clip_p_grid > 0:
+            window = clip_demand_peaks(window, stream.clip_p_grid)
+        return window
+
+
+class StreamingPaperTraces(TraceStream):
+    """The paper's trace family, generated chunk by chunk.
+
+    Parameters
+    ----------
+    n_slots:
+        Horizon length in fine slots.
+    seed:
+        Root seed; every sub-process derives an independent substream
+        from it (see module docstring for the seed discipline).
+    demand_model / solar_model / price_model:
+        Component model overrides (defaults mirror
+        :func:`~repro.traces.library.make_paper_traces`).
+    clip_p_grid:
+        When positive, apply the paper's ``Pgrid`` peak clipping to
+        every window (the clip is per-slot, hence chunk-invariant).
+        ``None`` disables clipping.
+    """
+
+    def __init__(self, n_slots: int, seed: int,
+                 demand_model: DemandModel | None = None,
+                 solar_model: SolarModel | None = None,
+                 price_model: PriceModel | None = None,
+                 clip_p_grid: float | None = None):
+        if n_slots < 1:
+            raise ValueError(f"horizon must have >= 1 slot, got {n_slots}")
+        self._n_slots = int(n_slots)
+        self.seed = int(seed)
+        self.demand_model = demand_model or DemandModel()
+        self.solar_model = solar_model or SolarModel()
+        self.price_model = price_model or PriceModel()
+        self.clip_p_grid = clip_p_grid
+        self.demand_generator = GoogleClusterDemandGenerator(
+            self.demand_model)
+        self.solar_generator = MidcLikeSolarGenerator(self.solar_model)
+        self.price_generator = NyisoLikePriceGenerator(self.price_model)
+
+    @property
+    def n_slots(self) -> int:
+        return self._n_slots
+
+    def open(self) -> TraceCursor:
+        return _PaperStreamCursor(self)

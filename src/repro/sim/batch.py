@@ -29,7 +29,6 @@ see :mod:`repro.sim.vecstate`), enforced slot-for-slot by
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from copy import deepcopy
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
@@ -206,6 +205,24 @@ class ScalarControllerBatch:
             ))
 
 
+class _RunState:
+    """Mutable physical state threaded through one batch run."""
+
+    __slots__ = ("battery", "backlog", "cycles", "lt_ledger", "rt_ledger",
+                 "recorder", "block")
+
+    def __init__(self, battery: VecBattery, backlog: VecBacklog,
+                 cycles: VecCycleLedger, lt_ledger: VecMarketLedger,
+                 rt_ledger: VecMarketLedger, recorder, block: np.ndarray):
+        self.battery = battery
+        self.backlog = backlog
+        self.cycles = cycles
+        self.lt_ledger = lt_ledger
+        self.rt_ledger = rt_ledger
+        self.recorder = recorder
+        self.block = block
+
+
 class BatchSimulator:
     """Advances ``B`` scenarios through the DPSS physics in lockstep.
 
@@ -213,30 +230,20 @@ class BatchSimulator:
     (``fine_slots_per_coarse``, ``num_coarse_slots``, ``slot_hours``);
     every *numeric* parameter — grid caps, battery, penalties, traces,
     per-slot feeder capacity — may differ per scenario.
+
+    Trace columns are read through the window offsets ``_slot0`` /
+    ``_coarse0`` (always zero here, where whole horizons are resident).
+    The streaming engine (:mod:`repro.fleet.engine`) subclasses this,
+    loading one chunk of trace columns at a time and advancing the
+    offsets, so both engines execute the identical per-slot arithmetic.
     """
 
     def __init__(self, runs: Sequence[RunSpec],
                  controller: BatchController | None = None):
-        if not runs:
-            raise ValueError("need at least one run")
-        self.runs = list(runs)
-        systems = [run.system for run in self.runs]
-        shapes = {(s.fine_slots_per_coarse, s.num_coarse_slots,
-                   s.slot_hours) for s in systems}
-        if len(shapes) > 1:
-            raise HorizonMismatchError(
-                f"batched systems must share (T, K, slot_hours), got "
-                f"{sorted(shapes)}")
-        self.systems = systems
-        self.controller = controller if controller is not None \
-            else _default_controller(self.runs)
-
-        n_slots = systems[0].horizon_slots
-        t_slots = systems[0].fine_slots_per_coarse
-        batch = len(self.runs)
-        self._n_slots = n_slots
-        self._t_slots = t_slots
-        self._batch = batch
+        self._init_group(runs, controller)
+        n_slots = self._n_slots
+        t_slots = self._t_slots
+        systems = self.systems
 
         for run in self.runs:
             if run.traces.n_slots < n_slots:
@@ -270,12 +277,39 @@ class BatchSimulator:
             [self._observed(run).coarse_prices(t_slots)[:k_slots]
              for run in self.runs])
 
+        self._capacity = self._stack_capacity()
+        self._check_prices()
+
+    def _init_group(self, runs: Sequence, controller) -> None:
+        """Shape checks, controller selection and parameter stacking.
+
+        Shared with the streaming subclass, so it only relies on each
+        run's ``system`` and ``controller`` attributes — never on
+        resident trace arrays.
+        """
+        if not runs:
+            raise ValueError("need at least one run")
+        self.runs = list(runs)
+        systems = [run.system for run in self.runs]
+        shapes = {(s.fine_slots_per_coarse, s.num_coarse_slots,
+                   s.slot_hours) for s in systems}
+        if len(shapes) > 1:
+            raise HorizonMismatchError(
+                f"batched systems must share (T, K, slot_hours), got "
+                f"{sorted(shapes)}")
+        self.systems = systems
+        self.controller = controller if controller is not None \
+            else _default_controller(self.runs)
+
+        self._n_slots = systems[0].horizon_slots
+        self._t_slots = systems[0].fine_slots_per_coarse
+        self._batch = len(self.runs)
+        self._slot0 = 0
+        self._coarse0 = 0
         self._p_grid = np.array([s.p_grid for s in systems])
         self._s_max = np.array([s.s_max for s in systems])
         self._s_dt_max = np.array([s.s_dt_max for s in systems])
         self._waste_penalty = np.array([s.waste_penalty for s in systems])
-        self._capacity = self._stack_capacity()
-        self._check_prices()
 
     @staticmethod
     def _observed(run: RunSpec) -> TraceSet:
@@ -326,84 +360,103 @@ class BatchSimulator:
 
     def run(self) -> list[SimulationResult]:
         """Simulate every scenario over the horizon, in lockstep."""
+        state = self._begin_run()
+        for slot in range(self._n_slots):
+            self._advance_slot(slot, state)
+        return self._finish_run(state)
+
+    def _begin_run(self) -> _RunState:
+        """Allocate the physical state and open the horizon."""
         systems = self.systems
-        batch, n_slots, t_slots = self._batch, self._n_slots, self._t_slots
-
-        battery = VecBattery(
-            b_min=[s.b_min for s in systems],
-            b_max=[s.b_max for s in systems],
-            b_charge_max=[s.b_charge_max for s in systems],
-            b_discharge_max=[s.b_discharge_max for s in systems],
-            eta_c=[s.eta_c for s in systems],
-            eta_d=[s.eta_d for s in systems],
-            initial=[s.initial_battery for s in systems],
-            n=batch)
-        backlog = VecBacklog(batch)
-        cycles = VecCycleLedger(
-            op_cost=[s.battery_op_cost for s in systems],
-            budgets=[s.cycle_budget for s in systems], n=batch)
-        lt_ledger = VecMarketLedger(batch)
-        rt_ledger = VecMarketLedger(batch)
-        recorder = BatchRecorder(batch, n_slots)
-
+        batch = self._batch
+        state = _RunState(
+            battery=VecBattery(
+                b_min=[s.b_min for s in systems],
+                b_max=[s.b_max for s in systems],
+                b_charge_max=[s.b_charge_max for s in systems],
+                b_discharge_max=[s.b_discharge_max for s in systems],
+                eta_c=[s.eta_c for s in systems],
+                eta_d=[s.eta_d for s in systems],
+                initial=[s.initial_battery for s in systems],
+                n=batch),
+            backlog=VecBacklog(batch),
+            cycles=VecCycleLedger(
+                op_cost=[s.battery_op_cost for s in systems],
+                budgets=[s.cycle_budget for s in systems], n=batch),
+            lt_ledger=VecMarketLedger(batch),
+            rt_ledger=VecMarketLedger(batch),
+            recorder=self._make_recorder(),
+            block=np.zeros(batch))
         self.controller.begin_horizon(systems)
-        block = np.zeros(batch)
+        return state
 
-        for slot in range(n_slots):
-            coarse = slot // t_slots
+    def _make_recorder(self):
+        """Per-slot sink fed by ``_step_physics`` (overridable)."""
+        return BatchRecorder(self._batch, self._n_slots)
 
-            if slot % t_slots == 0:
-                observations = [self._coarse_observation(b, coarse, slot,
-                                                         battery, backlog,
-                                                         cycles)
-                                for b in range(batch)]
-                gbef = np.asarray(
-                    self.controller.plan_long_term(observations),
-                    dtype=float)
-                block = np.minimum(np.maximum(0.0, gbef),
-                                   self._p_grid * t_slots)
-                lt_ledger.record(block, self._true_plt[:, coarse])
+    def _advance_slot(self, slot: int, state: _RunState) -> None:
+        """One fine slot for the whole batch: plan, decide, step."""
+        t_slots = self._t_slots
+        batch = self._batch
+        battery, backlog, cycles = state.battery, state.backlog, state.cycles
+        coarse = slot // t_slots
 
-            cap = self._capacity[:, slot]
-            rate = np.minimum(block / t_slots, cap)
-            grid_headroom = np.maximum(0.0, cap - rate)
+        if slot % t_slots == 0:
+            observations = [self._coarse_observation(b, coarse, slot,
+                                                     battery, backlog,
+                                                     cycles)
+                            for b in range(batch)]
+            gbef = np.asarray(
+                self.controller.plan_long_term(observations),
+                dtype=float)
+            state.block = np.minimum(np.maximum(0.0, gbef),
+                                     self._p_grid * t_slots)
+            state.lt_ledger.record(
+                state.block, self._true_plt[:, coarse - self._coarse0])
 
-            observed_r = self._obs_ren[:, slot]
-            grt_request, gamma = self.controller.real_time(
-                BatchFineObservation(
-                    fine_slot=slot,
-                    coarse_index=coarse,
-                    price_rt=self._obs_prt[:, slot],
-                    demand_ds=self._obs_dds[:, slot],
-                    demand_dt=self._obs_ddt[:, slot],
-                    renewable=observed_r,
-                    battery_level=battery.level,
-                    backlog=backlog.backlog,
-                    long_term_rate=rate,
-                    grid_headroom=grid_headroom,
-                    supply_headroom=np.maximum(
-                        0.0, self._s_max - rate - observed_r),
-                    cycle_budget_left=cycles.remaining,
-                ))
-            grt_request = np.asarray(grt_request, dtype=float)
-            gamma = np.asarray(gamma, dtype=float)
-            if np.any(grt_request < 0):
-                worst = float(grt_request.min())
-                raise InfeasibleActionError(
-                    f"real-time purchase must be >= 0, got {worst}")
-            if np.any(gamma < 0) or np.any(gamma > 1):
-                raise ValueError(
-                    f"gamma must be in [0, 1], got "
-                    f"[{float(gamma.min())}, {float(gamma.max())}]")
+        cap = self._capacity[:, slot - self._slot0]
+        rate = np.minimum(state.block / t_slots, cap)
+        grid_headroom = np.maximum(0.0, cap - rate)
 
-            self._step_physics(slot, coarse, rate, grt_request, gamma,
-                               battery, backlog, cycles, grid_headroom,
-                               rt_ledger, recorder)
+        observed_r = self._obs_ren[:, slot - self._slot0]
+        grt_request, gamma = self.controller.real_time(
+            BatchFineObservation(
+                fine_slot=slot,
+                coarse_index=coarse,
+                price_rt=self._obs_prt[:, slot - self._slot0],
+                demand_ds=self._obs_dds[:, slot - self._slot0],
+                demand_dt=self._obs_ddt[:, slot - self._slot0],
+                renewable=observed_r,
+                battery_level=battery.level,
+                backlog=backlog.backlog,
+                long_term_rate=rate,
+                grid_headroom=grid_headroom,
+                supply_headroom=np.maximum(
+                    0.0, self._s_max - rate - observed_r),
+                cycle_budget_left=cycles.remaining,
+            ))
+        grt_request = np.asarray(grt_request, dtype=float)
+        gamma = np.asarray(gamma, dtype=float)
+        if np.any(grt_request < 0):
+            worst = float(grt_request.min())
+            raise InfeasibleActionError(
+                f"real-time purchase must be >= 0, got {worst}")
+        if np.any(gamma < 0) or np.any(gamma > 1):
+            raise ValueError(
+                f"gamma must be in [0, 1], got "
+                f"[{float(gamma.min())}, {float(gamma.max())}]")
 
+        self._step_physics(slot, coarse, rate, grt_request, gamma,
+                           battery, backlog, cycles, grid_headroom,
+                           state.rt_ledger, state.recorder)
+
+    def _finish_run(self, state: _RunState):
+        """Close the horizon and collect per-scenario outputs."""
         finalize = getattr(self.controller, "finalize", None)
         if finalize is not None:
             finalize()
-        return self._collect(recorder, cycles, lt_ledger, rt_ledger)
+        return self._collect(state.recorder, state.cycles,
+                             state.lt_ledger, state.rt_ledger)
 
     # ------------------------------------------------------------------
     # Stages
@@ -414,8 +467,9 @@ class BatchSimulator:
                             cycles: VecCycleLedger) -> CoarseObservation:
         """Per-scenario twin of ``Simulator._plan``'s observation."""
         t_slots = self._t_slots
-        window = (slice(slot - t_slots, slot) if slot >= t_slots
-                  else slice(slot, slot + 1))
+        local = slot - self._slot0
+        window = (slice(local - t_slots, local) if slot >= t_slots
+                  else slice(local, local + 1))
         profile_ds = tuple(self._obs_dds[index, window].tolist())
         profile_dt = tuple(self._obs_ddt[index, window].tolist())
         profile_r = tuple(self._obs_ren[index, window].tolist())
@@ -423,7 +477,7 @@ class BatchSimulator:
         return CoarseObservation(
             coarse_index=coarse,
             fine_slot=slot,
-            price_lt=float(self._obs_plt[index, coarse]),
+            price_lt=float(self._obs_plt[index, coarse - self._coarse0]),
             demand_ds=sum(profile_ds) / len(profile_ds),
             demand_dt=sum(profile_dt) / len(profile_dt),
             renewable=sum(profile_r) / len(profile_r),
@@ -443,10 +497,11 @@ class BatchSimulator:
                       rt_ledger: VecMarketLedger,
                       recorder: BatchRecorder) -> None:
         """Vector twin of ``Simulator._step_physics`` (one slot)."""
-        dds = self._true_dds[:, slot]
-        ddt = self._true_ddt[:, slot]
-        renewable = self._true_ren[:, slot]
-        prt = self._true_prt[:, slot]
+        local = slot - self._slot0
+        dds = self._true_dds[:, local]
+        ddt = self._true_ddt[:, local]
+        renewable = self._true_ren[:, local]
+        prt = self._true_prt[:, local]
 
         # Clamp the real-time purchase to the feeder and supply caps.
         grt = np.minimum(grt_request, grid_headroom)
@@ -499,7 +554,7 @@ class BatchSimulator:
         cost_battery = cycles.record(charge, discharge)
         backlog.step(sdt, ddt)
 
-        cost_lt = rate * self._true_plt[:, coarse]
+        cost_lt = rate * self._true_plt[:, coarse - self._coarse0]
         cost_waste = waste * self._waste_penalty
         recorder.record(
             cost_lt=cost_lt,
@@ -608,6 +663,23 @@ def _run_spec_scalar(spec: RunSpec) -> SimulationResult:
                      grid_capacity=spec.grid_capacity).run()
 
 
+def run_group_batch(group_runs: Sequence[RunSpec]) -> list[SimulationResult]:
+    """Drive one compatible group through the vectorized engine.
+
+    Deduplicates shared controller objects first (scalar sweeps may
+    legally reuse one instance across runs) and falls back to the
+    scalar engine for singleton groups, exactly as the ``"batch"``
+    executor does — the process-sharded path reuses this so both
+    executors stay bit-identical.
+    """
+    if len(group_runs) == 1:
+        return [_run_spec_scalar(group_runs[0])]
+    specs = [RunSpec(system=r.system, controller=c, traces=r.traces,
+                     observed=r.observed, grid_capacity=r.grid_capacity)
+             for r, c in zip(group_runs, _distinct_controllers(group_runs))]
+    return BatchSimulator(specs).run()
+
+
 def simulate_many(runs: Sequence[RunSpec], executor: str = "batch",
                   max_workers: int | None = None
                   ) -> list[SimulationResult]:
@@ -622,9 +694,15 @@ def simulate_many(runs: Sequence[RunSpec], executor: str = "batch",
       where the whole group is SmartDPSS with one objective mode, the
       scalar-controller adapter otherwise; singleton groups just run
       scalar);
-    * ``"process"`` — a process pool over scalar runs
-      (``max_workers`` caps the pool size), for multi-core sweeps of
-      heterogeneous scenarios that cannot share a batch.
+    * ``"process"`` — shard whole *vectorized batch groups* across a
+      process pool (``max_workers`` caps the pool size): runs are
+      grouped exactly as ``"batch"`` groups them, each group is split
+      into per-worker shards, and every worker advances its shard
+      through :class:`BatchSimulator` — so multi-core fan-out and
+      vectorization multiply instead of falling back to scalar runs.
+      Results are bit-identical to ``"batch"`` (and hence to
+      ``"serial"``).  Implemented by
+      :func:`repro.fleet.runner.simulate_many_process`.
     """
     if executor not in EXECUTORS:
         raise ValueError(
@@ -637,8 +715,10 @@ def simulate_many(runs: Sequence[RunSpec], executor: str = "batch",
         return [_run_spec_scalar(run) for run in runs]
 
     if executor == "process":
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(_run_spec_scalar, runs))
+        # Late import: the fleet subsystem builds on this module.
+        from repro.fleet.runner import simulate_many_process
+
+        return simulate_many_process(runs, max_workers=max_workers)
 
     groups: dict[object, list[int]] = {}
     for index, run in enumerate(runs):
@@ -646,15 +726,7 @@ def simulate_many(runs: Sequence[RunSpec], executor: str = "batch",
 
     results: list[SimulationResult | None] = [None] * len(runs)
     for indices in groups.values():
-        if len(indices) == 1:
-            results[indices[0]] = _run_spec_scalar(runs[indices[0]])
-            continue
-        group_runs = [runs[i] for i in indices]
-        specs = [RunSpec(system=r.system, controller=c, traces=r.traces,
-                         observed=r.observed,
-                         grid_capacity=r.grid_capacity)
-                 for r, c in zip(group_runs,
-                                 _distinct_controllers(group_runs))]
-        for index, result in zip(indices, BatchSimulator(specs).run()):
+        group_results = run_group_batch([runs[i] for i in indices])
+        for index, result in zip(indices, group_results):
             results[index] = result
     return results  # type: ignore[return-value]

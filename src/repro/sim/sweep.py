@@ -108,8 +108,11 @@ class Sweep:
         scalar simulator one run at a time, ``"batch"`` advances
         compatible runs in lockstep through the vectorized engine
         (identical results, one NumPy dispatch for the whole fleet per
-        slot), ``"process"`` fans scalar runs out over a process pool
-        (``max_workers`` caps its size).
+        slot), ``"process"`` shards those same vectorized batch groups
+        across a process pool (``max_workers`` caps its size) so
+        multi-core fan-out and vectorization multiply.  All three are
+        bit-identical.  For sweeps beyond ~10⁴ runs, see the
+        memory-bounded fleet pipeline in :mod:`repro.fleet`.
         """
         if not self.values:
             raise ValueError("sweep has no values")

@@ -237,52 +237,82 @@ class BatchRecorder:
         return out
 
 
+class DelayReplay:
+    """Stateful FIFO delay-ledger replay, fed any number of windows.
+
+    Replays realized service and true arrivals through the exact
+    dynamics of :class:`~repro.workload.queue.BacklogQueue` (same
+    serve-then-admit order, same tolerances, same accumulation order),
+    reproducing bit-for-bit the delay statistics the scalar engine
+    accumulates inline.  :func:`replay_delay_stats` feeds it one
+    full-horizon window; the streaming engine
+    (:mod:`repro.fleet.engine`) feeds it chunk by chunk — the
+    arithmetic is identical either way, which is what keeps the two
+    paths exact.  Written as a tight local-variable loop because it
+    runs once per batch member over the whole horizon.
+    """
+
+    __slots__ = ("backlog", "parcels", "served_energy", "weighted_delay",
+                 "max_delay", "histogram")
+
+    def __init__(self):
+        self.backlog = 0.0
+        self.parcels: deque[list] = deque()
+        self.served_energy = 0.0
+        self.weighted_delay = 0.0
+        self.max_delay = 0
+        self.histogram: dict[int, float] = {}
+
+    def extend(self, start_slot: int, served_dt: np.ndarray,
+               arrivals_dt: np.ndarray) -> None:
+        """Replay slots ``[start_slot, start_slot + len(served_dt))``."""
+        backlog = self.backlog
+        parcels = self.parcels
+        histogram = self.histogram
+        for offset, (amount, arrivals) in enumerate(
+                zip(served_dt.tolist(), arrivals_dt.tolist())):
+            slot = start_slot + offset
+            # serve (eq. 2's max{·, 0} drain, oldest parcels first)
+            to_serve = amount if amount < backlog else backlog
+            remaining = to_serve
+            while remaining > _Q_TOLERANCE and parcels:
+                head = parcels[0]
+                arrival_slot, energy = head
+                take = energy if energy < remaining else remaining
+                delay = slot - arrival_slot
+                if delay < 0:
+                    delay = 0
+                self.served_energy += take
+                self.weighted_delay += take * delay
+                if delay > self.max_delay:
+                    self.max_delay = delay
+                histogram[delay] = histogram.get(delay, 0.0) + take
+                remaining -= take
+                if take >= energy - _Q_TOLERANCE:
+                    parcels.popleft()
+                else:
+                    head[1] = energy - take
+            backlog = max(0.0, backlog - to_serve)
+            # admit the slot's arrivals at the queue tail
+            if arrivals > _Q_TOLERANCE:
+                parcels.append([slot, arrivals])
+            backlog += arrivals
+        self.backlog = backlog
+
+    def stats(self) -> DelayStats:
+        return DelayStats(served_energy=self.served_energy,
+                          weighted_delay=self.weighted_delay,
+                          max_delay=self.max_delay,
+                          histogram=self.histogram)
+
+
 def replay_delay_stats(served_dt: np.ndarray,
                        arrivals_dt: np.ndarray) -> DelayStats:
     """Reconstruct one scenario's FIFO delay ledger post-run.
 
-    Replays the realized service and true arrivals through the exact
-    dynamics of :class:`~repro.workload.queue.BacklogQueue` (same
-    serve-then-admit order, same tolerances, same accumulation order),
-    reproducing bit-for-bit the delay statistics the scalar engine
-    accumulates inline.  Written as a tight local-variable loop — one
-    linear pass per scenario — because it runs once per batch member
-    over the whole horizon.
+    One full-horizon pass through :class:`DelayReplay` — see its
+    docstring for the exactness contract.
     """
-    backlog = 0.0
-    parcels: deque[list] = deque()
-    served_energy = 0.0
-    weighted_delay = 0.0
-    max_delay = 0
-    histogram: dict[int, float] = {}
-    for slot, (amount, arrivals) in enumerate(
-            zip(served_dt.tolist(), arrivals_dt.tolist())):
-        # serve (eq. 2's max{·, 0} drain, oldest parcels first)
-        to_serve = amount if amount < backlog else backlog
-        remaining = to_serve
-        while remaining > _Q_TOLERANCE and parcels:
-            head = parcels[0]
-            arrival_slot, energy = head
-            take = energy if energy < remaining else remaining
-            delay = slot - arrival_slot
-            if delay < 0:
-                delay = 0
-            served_energy += take
-            weighted_delay += take * delay
-            if delay > max_delay:
-                max_delay = delay
-            histogram[delay] = histogram.get(delay, 0.0) + take
-            remaining -= take
-            if take >= energy - _Q_TOLERANCE:
-                parcels.popleft()
-            else:
-                head[1] = energy - take
-        backlog = max(0.0, backlog - to_serve)
-        # admit the slot's arrivals at the queue tail
-        if arrivals > _Q_TOLERANCE:
-            parcels.append([slot, arrivals])
-        backlog += arrivals
-    return DelayStats(served_energy=served_energy,
-                      weighted_delay=weighted_delay,
-                      max_delay=max_delay,
-                      histogram=histogram)
+    replay = DelayReplay()
+    replay.extend(0, served_dt, arrivals_dt)
+    return replay.stats()

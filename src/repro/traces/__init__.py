@@ -10,23 +10,38 @@ variance shaping, system expansion ``β``, peak clipping at ``Pgrid``).
 """
 
 from repro.traces.base import Trace, TraceSet
-from repro.traces.demand import DemandModel, GoogleClusterDemandGenerator
+from repro.traces.demand import (
+    DemandChunkState,
+    DemandModel,
+    GoogleClusterDemandGenerator,
+)
 from repro.traces.library import make_paper_traces
 from repro.traces.noise import NoisyTraceView, uniform_observation_noise
-from repro.traces.prices import NyisoLikePriceGenerator, PriceModel
+from repro.traces.prices import (
+    NyisoLikePriceGenerator,
+    PriceChunkState,
+    PriceModel,
+)
 from repro.traces.scaling import (
     clip_demand_peaks,
     expand_system,
     rescale_renewable_penetration,
     reshape_demand_variation,
 )
-from repro.traces.solar import MidcLikeSolarGenerator, SolarModel
+from repro.traces.solar import (
+    MidcLikeSolarGenerator,
+    SolarChunkState,
+    SolarModel,
+)
 from repro.traces.validation import all_valid, validate_paper_traces
 from repro.traces.wind import WindModel, WindTraceGenerator
 
 __all__ = [
     "Trace",
     "TraceSet",
+    "DemandChunkState",
+    "PriceChunkState",
+    "SolarChunkState",
     "SolarModel",
     "MidcLikeSolarGenerator",
     "WindModel",

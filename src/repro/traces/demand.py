@@ -25,6 +25,19 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 
+
+@dataclass
+class DemandChunkState:
+    """Carry-over state for chunked delay-sensitive generation.
+
+    The interactive noise is AR(1) in log space; streaming generation
+    (:mod:`repro.fleet.stream`) threads this state between consecutive
+    chunks so the concatenation of chunk outputs is bit-identical to
+    one full-horizon pass, regardless of how the horizon is chunked.
+    """
+
+    log_noise: float = 0.0
+
 #: Hour-of-day multiplier for Websearch-style interactive load.
 _SEARCH_SHAPE = np.array([
     0.55, 0.48, 0.44, 0.42, 0.44, 0.52,
@@ -136,11 +149,25 @@ class GoogleClusterDemandGenerator:
     def delay_sensitive(self, n_slots: int,
                         rng: np.random.Generator) -> np.ndarray:
         """Sample the delay-sensitive series ``dds(τ)`` (MWh/slot)."""
+        return self.delay_sensitive_chunk(0, n_slots, rng,
+                                          DemandChunkState())
+
+    def delay_sensitive_chunk(self, start_slot: int, n_slots: int,
+                              rng: np.random.Generator,
+                              state: DemandChunkState) -> np.ndarray:
+        """Sample ``dds`` for slots ``[start_slot, start_slot + n_slots)``.
+
+        ``state`` carries the AR(1) noise level across chunks and is
+        updated in place; draws come one per slot from ``rng``, so
+        sequential chunks from one dedicated generator concatenate to
+        exactly the full-horizon series (chunk-size invariant).
+        """
         model = self.model
         series = np.empty(n_slots)
-        log_noise = 0.0
+        log_noise = state.log_noise
         scale = model.noise_sigma * math.sqrt(1.0 - model.noise_rho ** 2)
-        for slot in range(n_slots):
+        for index in range(n_slots):
+            slot = start_slot + index
             hour = self._hour(slot)
             weekend = self._weekday(slot) >= 5
             factor = model.weekend_factor if weekend else 1.0
@@ -150,7 +177,8 @@ class GoogleClusterDemandGenerator:
                          + scale * rng.standard_normal())
             multiplier = math.exp(log_noise - model.noise_sigma ** 2 / 2.0)
             power = model.static_floor_mw + interactive * multiplier
-            series[slot] = max(0.0, power * model.slot_hours)
+            series[index] = max(0.0, power * model.slot_hours)
+        state.log_noise = log_noise
         return series
 
     def delay_tolerant(self, n_slots: int,
@@ -163,21 +191,30 @@ class GoogleClusterDemandGenerator:
         Per-slot arrivals clip at ``Ddtmax`` (constraint in Section
         II-A.2).
         """
+        return self.delay_tolerant_chunk(0, n_slots, rng)
+
+    def delay_tolerant_chunk(self, start_slot: int, n_slots: int,
+                             rng: np.random.Generator) -> np.ndarray:
+        """Sample ``ddt`` for slots ``[start_slot, start_slot + n_slots)``.
+
+        The arrival process is memoryless across slots, so the only
+        chunking requirement is a dedicated sequential ``rng``.
+        """
         model = self.model
         series = np.empty(n_slots)
         log_median = math.log(model.batch_job_energy_mwh) \
             if model.batch_job_energy_mwh > 0 else 0.0
-        for slot in range(n_slots):
-            hour = self._hour(slot)
+        for index in range(n_slots):
+            hour = self._hour(start_slot + index)
             rate = (model.batch_jobs_per_hour * _BATCH_SHAPE[hour]
                     * model.slot_hours)
             n_jobs = rng.poisson(rate)
             if n_jobs == 0 or model.batch_job_energy_mwh == 0:
-                series[slot] = 0.0
+                series[index] = 0.0
                 continue
             sizes = rng.lognormal(mean=log_median, sigma=model.batch_sigma,
                                   size=n_jobs)
-            series[slot] = min(float(sizes.sum()), model.d_dt_max)
+            series[index] = min(float(sizes.sum()), model.d_dt_max)
         return series
 
     def generate(self, n_slots: int, rng: np.random.Generator,

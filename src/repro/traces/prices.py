@@ -24,6 +24,13 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 
+@dataclass
+class PriceChunkState:
+    """Carry-over AR(1) log-noise state for chunked price generation."""
+
+    log_noise: float = 0.0
+
+
 #: Hour-of-day base shape, normalized around 1.0: NYISO-like winter load
 #: curve with a morning ramp and a taller early-evening peak.
 _DIURNAL_SHAPE = np.array([
@@ -119,38 +126,52 @@ class NyisoLikePriceGenerator:
     def __init__(self, model: PriceModel | None = None):
         self.model = model or PriceModel()
 
-    def _base_curve(self, n_slots: int) -> np.ndarray:
+    def _base_curve(self, n_slots: int, start_slot: int = 0) -> np.ndarray:
         """Deterministic expected real-time price per slot ($/MWh)."""
         model = self.model
         base = np.empty(n_slots)
-        for slot in range(n_slots):
+        for index in range(n_slots):
+            slot = start_slot + index
             hour = int((slot * model.slot_hours) % 24)
             day = int((slot * model.slot_hours) // 24)
             weekday = (model.start_weekday + day) % 7
             shape = _DIURNAL_SHAPE[hour]
             if weekday >= 5:
                 shape *= model.weekend_factor
-            base[slot] = model.mean_price * shape
+            base[index] = model.mean_price * shape
         return base
 
     def real_time_prices(self, n_slots: int,
                          rng: np.random.Generator) -> np.ndarray:
         """Sample the real-time price series ``prt(τ)``."""
+        return self.real_time_prices_chunk(0, n_slots, rng,
+                                           PriceChunkState())
+
+    def real_time_prices_chunk(self, start_slot: int, n_slots: int,
+                               rng: np.random.Generator,
+                               state: "PriceChunkState") -> np.ndarray:
+        """Sample ``prt`` for slots ``[start_slot, start_slot + n)``.
+
+        ``state`` carries the AR(1) log-noise level between chunks;
+        draws are strictly per slot from ``rng``, so sequential chunks
+        from a dedicated generator are chunk-size invariant.
+        """
         model = self.model
-        base = self._base_curve(n_slots)
+        base = self._base_curve(n_slots, start_slot)
         # Persistent lognormal noise: AR(1) in log-space, mean-corrected
         # so the noise multiplier has expectation close to one.
-        log_noise = 0.0
+        log_noise = state.log_noise
         scale = model.noise_sigma * math.sqrt(1.0 - model.noise_rho ** 2)
         prices = np.empty(n_slots)
-        for slot in range(n_slots):
+        for index in range(n_slots):
             log_noise = (model.noise_rho * log_noise
                          + scale * rng.standard_normal())
             multiplier = math.exp(log_noise - model.noise_sigma ** 2 / 2.0)
-            price = base[slot] * multiplier
+            price = base[index] * multiplier
             if rng.random() < model.spike_probability:
                 price *= model.spike_scale * (1.0 + 0.5 * rng.random())
-            prices[slot] = price
+            prices[index] = price
+        state.log_noise = log_noise
         return np.clip(prices, model.price_floor, model.price_cap)
 
     def forward_curve(self, n_slots: int,
@@ -161,8 +182,17 @@ class NyisoLikePriceGenerator:
         prices the expectation, not realizations) at the contract
         discount, with mild noise for forecast imperfection.
         """
+        return self.forward_curve_chunk(0, n_slots, rng)
+
+    def forward_curve_chunk(self, start_slot: int, n_slots: int,
+                            rng: np.random.Generator) -> np.ndarray:
+        """Sample the forward curve for ``[start_slot, start_slot + n)``.
+
+        Memoryless across slots (one normal draw per slot), so a
+        dedicated sequential ``rng`` is the only chunking requirement.
+        """
         model = self.model
-        base = self._base_curve(n_slots)
+        base = self._base_curve(n_slots, start_slot)
         noise = 1.0 + model.forward_noise_sigma * rng.standard_normal(n_slots)
         curve = base * model.forward_discount * np.clip(noise, 0.5, 1.5)
         return np.clip(curve, model.price_floor, model.price_cap)

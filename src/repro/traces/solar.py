@@ -32,6 +32,21 @@ from repro.exceptions import ConfigurationError
 CLEAR, PARTLY, OVERCAST = 0, 1, 2
 
 
+@dataclass
+class SolarChunkState:
+    """Carry-over state for chunked solar generation.
+
+    ``cloud_state`` is the Markov regime at the end of the previous
+    chunk (``-1`` before any slot is generated); ``noise_level`` is the
+    AR(1) disturbance level.  :meth:`MidcLikeSolarGenerator.generate_chunk`
+    threads this between chunks so chunked output is invariant to the
+    chunk size.
+    """
+
+    cloud_state: int = -1
+    noise_level: float = 0.0
+
+
 @dataclass(frozen=True)
 class SolarModel:
     """Parameters of the synthetic solar plant and sky model.
@@ -116,42 +131,65 @@ class MidcLikeSolarGenerator:
     def __init__(self, model: SolarModel | None = None):
         self.model = model or SolarModel()
 
-    def clear_sky_profile(self, n_slots: int) -> np.ndarray:
+    def clear_sky_profile(self, n_slots: int,
+                          start_slot: int = 0) -> np.ndarray:
         """Deterministic clear-sky energy per slot (MWh)."""
         model = self.model
         profile = np.empty(n_slots)
-        for slot in range(n_slots):
+        for index in range(n_slots):
+            slot = start_slot + index
             hour = (slot * model.slot_hours) % 24.0
             day = model.start_day_of_year + (slot * model.slot_hours) / 24.0
             sin_elev = solar_elevation_sin(model.latitude_deg, day, hour)
             capacity_factor = sin_elev ** self._AIRMASS_EXPONENT
-            profile[slot] = (model.capacity_mw * capacity_factor
-                            * model.slot_hours)
+            profile[index] = (model.capacity_mw * capacity_factor
+                              * model.slot_hours)
         return profile
 
     def cloud_states(self, n_slots: int,
                      rng: np.random.Generator) -> np.ndarray:
         """Sample the 3-state Markov cloud-regime path."""
+        return self.cloud_states_chunk(n_slots, rng, SolarChunkState())
+
+    def cloud_states_chunk(self, n_slots: int, rng: np.random.Generator,
+                           state: SolarChunkState) -> np.ndarray:
+        """Continue the Markov regime path for ``n_slots`` more slots.
+
+        The first overall slot (``state.cloud_state < 0``) draws a
+        uniform initial regime; every later slot draws one transition,
+        so the draw count per slot is fixed and chunk-size invariant.
+        """
         persistence = self.model.cloud_persistence
         switch = (1.0 - persistence) / 2.0
         transition = np.full((3, 3), switch)
         np.fill_diagonal(transition, persistence)
         states = np.empty(n_slots, dtype=int)
-        states[0] = rng.integers(0, 3)
-        for slot in range(1, n_slots):
-            states[slot] = rng.choice(3, p=transition[states[slot - 1]])
+        current = state.cloud_state
+        for index in range(n_slots):
+            if current < 0:
+                current = int(rng.integers(0, 3))
+            else:
+                current = int(rng.choice(3, p=transition[current]))
+            states[index] = current
+        state.cloud_state = current
         return states
 
     def noise_path(self, n_slots: int,
                    rng: np.random.Generator) -> np.ndarray:
         """Mean-one AR(1) multiplicative disturbance, floored at zero."""
+        return self.noise_path_chunk(n_slots, rng, SolarChunkState())
+
+    def noise_path_chunk(self, n_slots: int, rng: np.random.Generator,
+                         state: SolarChunkState) -> np.ndarray:
+        """Continue the AR(1) disturbance path for ``n_slots`` slots."""
         model = self.model
         noise = np.empty(n_slots)
-        level = 0.0
+        level = state.noise_level
         scale = model.noise_sigma * math.sqrt(1.0 - model.noise_rho ** 2)
-        for slot in range(n_slots):
+        for index in range(n_slots):
             level = model.noise_rho * level + scale * rng.standard_normal()
-            noise[slot] = max(0.0, 1.0 + level)
+            noise[index] = max(0.0, 1.0 + level)
+        state.noise_level = level
         return noise
 
     def generate(self, n_slots: int,
@@ -166,6 +204,32 @@ class MidcLikeSolarGenerator:
         # piecewise-constant while preserving their means.
         jitter = np.clip(1.0 + 0.10 * rng.standard_normal(n_slots), 0.0, None)
         noise = self.noise_path(n_slots, rng)
+        series = clear_sky * attenuation * jitter * noise
+        return np.clip(series, 0.0, self.model.capacity_mw
+                       * self.model.slot_hours)
+
+    def generate_chunk(self, start_slot: int, n_slots: int,
+                       cloud_rng: np.random.Generator,
+                       jitter_rng: np.random.Generator,
+                       noise_rng: np.random.Generator,
+                       state: SolarChunkState) -> np.ndarray:
+        """Generate ``r(τ)`` for slots ``[start_slot, start_slot + n)``.
+
+        Chunked twin of :meth:`generate` for streaming trace sources:
+        each stochastic component draws from its *own* sequential
+        generator (so chunk boundaries do not reorder draws across
+        components) and ``state`` carries the Markov regime and AR(1)
+        level between chunks.  The concatenation of sequential chunks
+        is therefore invariant to the chunk size.
+        """
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        clear_sky = self.clear_sky_profile(n_slots, start_slot)
+        states = self.cloud_states_chunk(n_slots, cloud_rng, state)
+        attenuation = np.asarray(self.model.cloud_attenuation)[states]
+        jitter = np.clip(1.0 + 0.10 * jitter_rng.standard_normal(n_slots),
+                         0.0, None)
+        noise = self.noise_path_chunk(n_slots, noise_rng, state)
         series = clear_sky * attenuation * jitter * noise
         return np.clip(series, 0.0, self.model.capacity_mw
                        * self.model.slot_hours)

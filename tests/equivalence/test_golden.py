@@ -79,10 +79,52 @@ def compute_fig6_t() -> dict:
     }
 
 
+def compute_fleet_fig6_t() -> dict:
+    """The fig6 T-sweep metrics *through the fleet path*.
+
+    Same scenarios as :func:`compute_fig6_t` (paper traces, tiny
+    horizon), but expressed as declarative ``ScenarioSpec``s, run by
+    the ``FleetRunner``, streamed into a ``ResultStore`` and
+    aggregated into a ``SweepTable`` — pinning the whole
+    spec → shard → store → table pipeline, not just the engine.
+    """
+    import tempfile
+
+    from repro.fleet.runner import FleetRunner
+    from repro.fleet.spec import ScenarioSpec, grid_specs
+    from repro.fleet.store import ResultStore
+    from repro.rng import DEFAULT_SEED
+
+    template = ScenarioSpec(
+        seed=DEFAULT_SEED,
+        system={"preset": "paper", "days": 3},
+        controller={"kind": "smartdpss"},
+        trace={"kind": "paper", "seed": DEFAULT_SEED},
+    )
+    specs = grid_specs(template, "system.fine_slots_per_coarse",
+                       [3, 6, 12, 24], seeds=(DEFAULT_SEED,))
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(tmp)
+        FleetRunner(specs, store=store).run()
+        table = store.sweep_table(
+            name="fleet fig6 T-sweep",
+            metrics=("time_avg_cost", "avg_delay_slots",
+                     "worst_delay_slots", "peak_backlog",
+                     "availability"))
+    return {
+        "rows": [{
+            "t_slots": point.value,
+            "n_seeds": point.n_seeds,
+            **point.metrics,
+        } for point in table.points],
+    }
+
+
 EXPERIMENTS = {
     "fig5_traces": compute_fig5,
     "fig6_v_sweep": compute_fig6_v,
     "fig6_t_sweep": compute_fig6_t,
+    "fleet_fig6_t_sweep": compute_fleet_fig6_t,
 }
 
 

@@ -1,0 +1,139 @@
+"""Unit tests for the fleet runner: sharding, engines, stores, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet.runner import FleetRunner, _split_shards
+from repro.fleet.spec import ScenarioSpec, grid_specs
+from repro.fleet.store import ResultStore
+from repro.fleet.__main__ import build_demo_fleet, main
+
+pytestmark = pytest.mark.fleet
+
+
+def tiny_template(**controller) -> ScenarioSpec:
+    return ScenarioSpec(
+        system={"preset": "paper", "days": 1,
+                "fine_slots_per_coarse": 6},
+        controller={"kind": "smartdpss", **controller},
+        trace={"kind": "stream"})
+
+
+def tiny_fleet() -> list[ScenarioSpec]:
+    return grid_specs(tiny_template(), "controller.v",
+                      [0.2, 1.0], seeds=(0, 1, 2))
+
+
+class TestSharding:
+    def test_split_shards(self):
+        assert _split_shards(list(range(7)), 3) == [[0, 1, 2],
+                                                    [3, 4, 5], [6]]
+        assert _split_shards([], 3) == []
+        with pytest.raises(ValueError):
+            _split_shards([1], 0)
+
+    def test_compatible_specs_share_a_shard(self):
+        runner = FleetRunner(tiny_fleet(), batch_size=64)
+        payloads = runner.shards()
+        assert len(payloads) == 1
+        assert payloads[0]["streamable"] is True
+        assert len(payloads[0]["specs"]) == 6
+
+    def test_batch_size_splits_groups(self):
+        runner = FleetRunner(tiny_fleet(), batch_size=4)
+        sizes = sorted(len(p["specs"]) for p in runner.shards())
+        assert sizes == [2, 4]
+
+    def test_incompatible_shapes_get_separate_shards(self):
+        specs = tiny_fleet()
+        data = tiny_template().to_dict()
+        data["system"] = {"preset": "paper", "days": 1,
+                          "fine_slots_per_coarse": 12}
+        specs.append(ScenarioSpec.from_dict(data))
+        assert len(FleetRunner(specs).shards()) == 2
+
+    def test_oracle_specs_route_to_in_memory_engine(self):
+        data = tiny_template().to_dict()
+        data["controller"] = {"kind": "offline"}
+        data["trace"] = {"kind": "paper"}
+        runner = FleetRunner([ScenarioSpec.from_dict(data)])
+        (payload,) = runner.shards()
+        assert payload["streamable"] is False
+
+
+class TestRun:
+    def test_records_come_back_in_spec_order(self):
+        specs = tiny_fleet()
+        records = FleetRunner(specs, batch_size=4).run()
+        assert len(records) == len(specs)
+        for spec, row in zip(specs, records):
+            assert row["name"] == spec.name
+            assert row["seed"] == spec.seed
+            assert row["value"] == spec.value
+            assert row["engine"] == "stream"
+            assert row["metrics"]["availability"] == pytest.approx(1.0)
+            assert row["spec"] == spec.to_dict()
+
+    def test_records_are_json_serializable(self):
+        records = FleetRunner(tiny_fleet()[:2]).run()
+        json.dumps(records)
+
+    def test_store_receives_incremental_appends(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        seen = []
+        runner = FleetRunner(tiny_fleet(), batch_size=2, store=store)
+        runner.run(progress=lambda outcome, done, total:
+                   seen.append((done, total, len(store))))
+        # After each shard the store already holds that shard's rows.
+        assert [s[:2] for s in seen] == [(1, 3), (2, 3), (3, 3)]
+        assert [s[2] for s in seen] == [2, 4, 6]
+        assert len(store) == 6
+
+    def test_mixed_engine_fleet(self):
+        """Streamed SmartDPSS + in-memory oracle in one fleet."""
+        specs = tiny_fleet()[:2]
+        data = tiny_template().to_dict()
+        data["controller"] = {"kind": "impatient"}
+        data["trace"] = {"kind": "paper"}
+        specs.append(ScenarioSpec.from_dict(data))
+        records = FleetRunner(specs).run()
+        assert [r["engine"] for r in records] == ["stream", "stream",
+                                                  "batch"]
+        assert records[2]["controller"] == "impatient"
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError, match="no scenarios"):
+            FleetRunner([])
+
+
+class TestCli:
+    def test_demo_fleet_sizes(self):
+        fleet = build_demo_fleet("v-sweep", 45, days=1, t_slots=6,
+                                 sample_seed=0)
+        assert len(fleet) == 45
+        fleet = build_demo_fleet("random", 10, days=1, t_slots=6,
+                                 sample_seed=0)
+        assert len(fleet) == 10
+        assert all(spec.streamable for spec in fleet)
+
+    def test_run_and_report(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        assert main(["run", "--demo", "v-sweep", "--scenarios", "12",
+                     "--days", "1", "--t-slots", "6",
+                     "--out", str(out), "--batch-size", "8"]) == 0
+        assert main(["report", "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "12 records" in captured
+        assert "time_avg_cost" in captured
+
+    def test_run_spec_file(self, tmp_path):
+        fleet = [spec.to_dict() for spec in tiny_fleet()[:3]]
+        spec_file = tmp_path / "fleet.json"
+        spec_file.write_text(json.dumps(fleet), encoding="utf-8")
+        out = tmp_path / "store"
+        assert main(["run", "--spec-file", str(spec_file),
+                     "--out", str(out)]) == 0
+        assert len(ResultStore(out)) == 3
