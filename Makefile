@@ -4,7 +4,7 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-fast test-equivalence bench-smoke bench-batch \
-	bench-fleet benchmarks
+	bench-fleet bench-traces benchmarks
 
 # Tier-1 verify: the full suite, fail-fast.
 test:
@@ -31,6 +31,12 @@ bench-batch:
 # 10^4-scenario sweep; writes BENCH_fleet.json.
 bench-fleet:
 	$(PY) benchmarks/bench_fleet.py
+
+# Trace kernels: scalar loops vs vectorized batch kernels, per
+# component and end-to-end on the streamed sweep; writes
+# BENCH_traces.json.
+bench-traces:
+	$(PY) benchmarks/bench_traces.py
 
 # Figure-regeneration benchmarks (pytest-benchmark suite).
 benchmarks:

@@ -14,8 +14,10 @@ Two measurements, written to ``BENCH_fleet.json`` at the repo root
 2. **Shard scaling** — wall-clock for a 10⁴-scenario streamed sweep
    (the CLI demo fleet) through ``FleetRunner`` at increasing worker
    counts.  On a multi-core machine the process-sharded run must beat
-   the single-process run; on a single-core container the comparison
-   is recorded as informational (``cores < 2``).
+   the single-process run (a real pass/fail verdict).  On a
+   single-core container the multi-worker run is *skipped* and the
+   verdict recorded as ``"ok": null`` with an explicit ``skipped``
+   reason — rerun on ≥ 2 cores to validate.
 
 Run::
 
@@ -192,14 +194,16 @@ def evaluate(memory_rows: list[dict], shard_rows: list[dict],
         sharding["best_multi_workers"] = best["workers"]
         sharding["speedup"] = round(single["wall_s"] / best["wall_s"],
                                     2)
-        if cores >= 2:
-            sharding["ok"] = best["wall_s"] < single["wall_s"]
-        else:
-            # One visible core: process fan-out cannot win; record the
-            # numbers as informational rather than a verdict.
-            sharding["ok"] = None
-            sharding["note"] = ("single-core container; multi-worker "
-                                "comparison is informational only")
+        # Reached only with >= 2 visible cores (see main): the
+        # comparison is a real verdict, not informational noise.
+        sharding["ok"] = best["wall_s"] < single["wall_s"]
+    elif single:
+        sharding["single_process_s"] = single["wall_s"]
+        sharding["ok"] = None
+        sharding["skipped"] = (
+            f"only {cores} visible core(s): the >=2-worker comparison "
+            f"cannot win here and was not run; rerun `make bench-fleet` "
+            f"on a multi-core machine to validate shard scaling")
     memory_ok = streams_smaller and (chunk_scaling is None
                                      or chunk_scaling["ok"])
     target_met = bool(memory_ok
@@ -221,10 +225,16 @@ def main(argv: list[str] | None = None) -> int:
     cores = _cores()
     if args.quick:
         memory_rows = measure_memory(4, [4], [2])
-        shard_rows = measure_sharding(200, [1, 2])
+        shard_rows = measure_sharding(200, [1, 2] if cores >= 2
+                                      else [1])
     else:
         memory_rows = measure_memory(16, [30, 60], [2, 8])
-        workers_list = [1, 2] if cores < 4 else [1, 2, 4]
+        if cores < 2:
+            workers_list = [1]
+        elif cores < 4:
+            workers_list = [1, 2]
+        else:
+            workers_list = [1, 2, 4]
         shard_rows = measure_sharding(10_000, workers_list)
 
     verdict = evaluate(memory_rows, shard_rows, cores)

@@ -49,12 +49,14 @@ from repro.fleet.spec import (
 from repro.fleet.store import ResultStore
 from repro.fleet.stream import (
     ArrayTraceStream,
+    BatchTraceStream,
     StreamingPaperTraces,
     TraceStream,
 )
 
 __all__ = [
     "ArrayTraceStream",
+    "BatchTraceStream",
     "FleetRunner",
     "ResultStore",
     "ScenarioMetrics",

@@ -22,6 +22,12 @@ long-term prices are per-coarse-slot averages and planning happens at
 coarse boundaries.  Each loaded chunk keeps a ``T``-slot tail of its
 predecessor so the planner's previous-window profile lookback stays
 resident.
+
+Trace chunks load through one of two bit-identical paths: a
+:class:`~repro.fleet.stream.BatchTraceStream` cursor (default when all
+sources are kernel-backed — one vectorized kernel pass per window for
+the whole batch) or ``B`` per-scenario scalar cursors (the reference
+path, forced with ``batch_traces=False``).
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ import numpy as np
 from repro.config.system import SystemConfig
 from repro.core.interfaces import Controller
 from repro.exceptions import HorizonMismatchError, InfeasibleActionError
-from repro.fleet.stream import TraceStream
+from repro.fleet.stream import BatchTraceStream, TraceStream
 from repro.sim.batch import BatchController, BatchSimulator, _RunState
 from repro.sim.results import SimulationResult
 from repro.sim.vecstate import DelayReplay
@@ -137,7 +143,13 @@ class StreamingAggregator:
                          n_slots: int, battery_operations: int,
                          lt_energy: float, rt_energy: float,
                          seed: int | None = None) -> "ScenarioMetrics":
-        """Fold one scenario's aggregates into a metrics record."""
+        """Fold one scenario's aggregates into a metrics record.
+
+        ``StreamingBatchSimulator._collect`` applies these same
+        formulas vectorized over the batch; any change to a derived
+        quantity here must be mirrored there (the equivalence harness
+        compares the two paths exactly and will trip on a desync).
+        """
         stats = self.delay_stats(index)
         get = self.sum
         cost_lt = get("cost_lt", index)
@@ -274,11 +286,19 @@ class StreamingBatchSimulator(BatchSimulator):
     ``chunk_coarse`` sets how many coarse slots of trace data are
     resident per scenario at any time (plus a ``T``-slot planning
     tail).  Returns one :class:`ScenarioMetrics` per spec, in order.
+
+    When every run's trace source is kernel-backed
+    (:class:`~repro.fleet.stream.StreamingPaperTraces`), chunks load
+    through one :class:`~repro.fleet.stream.BatchTraceStream` cursor —
+    a single vectorized kernel pass per window for the whole batch,
+    bit-identical to the per-scenario cursors.  ``batch_traces=False``
+    forces the per-scenario scalar path (the reference the harness and
+    the trace benchmark compare against).
     """
 
     def __init__(self, runs: Sequence[StreamRunSpec],
                  controller: BatchController | None = None,
-                 *, chunk_coarse: int = 4):
+                 *, chunk_coarse: int = 4, batch_traces: bool = True):
         self._init_group(runs, controller)
         if chunk_coarse < 1:
             raise ValueError(
@@ -299,6 +319,8 @@ class StreamingBatchSimulator(BatchSimulator):
         self._chunk_slots = chunk_coarse * self._t_slots
         self._seeds: list[int | None] = [
             getattr(run.stream, "seed", None) for run in self.runs]
+        self._batch_source = BatchTraceStream.for_streams(
+            [run.stream for run in self.runs]) if batch_traces else None
 
     def _make_recorder(self) -> StreamingAggregator:
         return StreamingAggregator(self._batch)
@@ -307,37 +329,33 @@ class StreamingBatchSimulator(BatchSimulator):
     # Chunk loading
     # ------------------------------------------------------------------
 
-    def _load_chunk(self, start: int, stop: int, cursors,
-                    tail: dict[str, np.ndarray] | None
-                    ) -> dict[str, np.ndarray]:
-        """Load trace columns for ``[start, stop)`` (+ planning tail).
+    def _install_chunk(self, columns: dict[str, np.ndarray],
+                       price_lt: np.ndarray, start: int, stop: int,
+                       tail: dict[str, np.ndarray] | None
+                       ) -> dict[str, np.ndarray]:
+        """Point the engine at stacked ``(B, chunk)`` trace columns.
 
-        Returns the next tail (the last ``T`` columns) and leaves the
-        engine's column arrays and window offsets pointing at the new
-        chunk.  Observed == true for streamed runs, so both views
-        alias one set of arrays.
+        ``columns`` holds the four fine-grained series for
+        ``[start, stop)``; ``price_lt`` the coarse prices of the
+        chunk's coarse slots.  Prepends the ``T``-slot planning tail,
+        updates the window offsets, rebuilds the capacity rows, and
+        returns the next tail.  Observed == true for streamed runs, so
+        both views alias one set of arrays.
         """
         t_slots = self._t_slots
-        windows = [cursor.read(stop - start) for cursor in cursors]
-
-        def stack(name: str, select) -> np.ndarray:
-            block = np.stack([np.asarray(select(w), dtype=float)
-                              for w in windows])
-            if tail is None:
-                return block
-            return np.concatenate([tail[name], block], axis=1)
-
-        self._true_dds = stack("demand_ds", lambda w: w.demand_ds)
-        self._true_ddt = stack("demand_dt", lambda w: w.demand_dt)
-        self._true_ren = stack("renewable", lambda w: w.renewable)
-        self._true_prt = stack("price_rt", lambda w: w.price_rt)
+        if tail is not None:
+            columns = {name: np.concatenate([tail[name], block], axis=1)
+                       for name, block in columns.items()}
+        self._true_dds = columns["demand_ds"]
+        self._true_ddt = columns["demand_dt"]
+        self._true_ren = columns["renewable"]
+        self._true_prt = columns["price_rt"]
         self._obs_dds = self._true_dds
         self._obs_ddt = self._true_ddt
         self._obs_ren = self._true_ren
         self._obs_prt = self._true_prt
 
-        self._true_plt = np.stack(
-            [w.coarse_prices(t_slots) for w in windows])
+        self._true_plt = price_lt
         self._obs_plt = self._true_plt
         self._coarse0 = start // t_slots
         self._slot0 = start if tail is None else start - t_slots
@@ -360,24 +378,65 @@ class StreamingBatchSimulator(BatchSimulator):
             "price_rt": self._true_prt[:, -t_slots:],
         }
 
+    def _load_chunk(self, start: int, stop: int, cursors,
+                    tail: dict[str, np.ndarray] | None
+                    ) -> dict[str, np.ndarray]:
+        """Per-scenario cursor path: read and stack ``B`` windows."""
+        windows = [cursor.read(stop - start) for cursor in cursors]
+        columns = {
+            name: np.stack([np.asarray(getattr(w, name), dtype=float)
+                            for w in windows])
+            for name in ("demand_ds", "demand_dt", "renewable",
+                         "price_rt")}
+        price_lt = np.stack(
+            [w.coarse_prices(self._t_slots) for w in windows])
+        return self._install_chunk(columns, price_lt, start, stop, tail)
+
+    def _load_chunk_batch(self, start: int, stop: int, cursor,
+                          tail: dict[str, np.ndarray] | None
+                          ) -> dict[str, np.ndarray]:
+        """Batch kernel path: one ``TraceBlock`` covers every scenario."""
+        block = cursor.read(stop - start)
+        columns = {
+            "demand_ds": block.demand_ds,
+            "demand_dt": block.demand_dt,
+            "renewable": block.renewable,
+            "price_rt": block.price_rt,
+        }
+        price_lt = block.coarse_prices(self._t_slots)
+        return self._install_chunk(columns, price_lt, start, stop, tail)
+
     def _check_chunk_prices(self, start: int) -> None:
         """Chunkwise twin of ``BatchSimulator._check_prices``.
 
         Same exception on the same offending values; the only
         difference is *when* it fires (as the bad chunk loads, rather
-        than before slot 0).
+        than before slot 0).  Scanned as four batched reductions; the
+        per-scenario loop runs only to format the error.
         """
         local = start - self._slot0
-        for index, system in enumerate(self.systems):
-            cap = system.p_max * (1 + 1e-9)
-            for name, series in (
-                    ("real-time", self._true_prt[index, local:]),
-                    ("long-term", self._true_plt[index])):
-                lo, hi = float(series.min()), float(series.max())
-                if not (0 <= lo and hi <= cap):
-                    raise InfeasibleActionError(
-                        f"{name}: price outside [0, {system.p_max}] "
-                        f"(observed range [{lo}, {hi}])")
+        caps_slack = np.array([system.p_max for system in self.systems
+                               ]) * (1 + 1e-9)
+        ranges = {}
+        bad = {}
+        for name, block in (("real-time", self._true_prt[:, local:]),
+                            ("long-term", self._true_plt)):
+            lows, highs = block.min(axis=1), block.max(axis=1)
+            ranges[name] = (lows, highs)
+            bad[name] = (lows < 0) | (highs > caps_slack)
+        offenders = bad["real-time"] | bad["long-term"]
+        if offenders.any():
+            # Report the same offender the in-memory engine's
+            # scenario-major scan would: first bad scenario, real-time
+            # before long-term within it.
+            index = int(np.argmax(offenders))
+            name = "real-time" if bad["real-time"][index] \
+                else "long-term"
+            lows, highs = ranges[name]
+            raise InfeasibleActionError(
+                f"{name}: price outside "
+                f"[0, {self.systems[index].p_max}] (observed range "
+                f"[{float(lows[index])}, {float(highs[index])}])")
 
     # ------------------------------------------------------------------
     # Main loop
@@ -386,11 +445,22 @@ class StreamingBatchSimulator(BatchSimulator):
     def run(self) -> list[ScenarioMetrics]:
         """Stream every scenario over the horizon, chunk by chunk."""
         state = self._begin_run()
-        cursors = [run.stream.open() for run in self.runs]
+        if self._batch_source is not None:
+            batch_cursor = self._batch_source.open()
+
+            def load(start, stop, tail):
+                return self._load_chunk_batch(start, stop, batch_cursor,
+                                              tail)
+        else:
+            cursors = [run.stream.open() for run in self.runs]
+
+            def load(start, stop, tail):
+                return self._load_chunk(start, stop, cursors, tail)
+
         tail: dict[str, np.ndarray] | None = None
         for start in range(0, self._n_slots, self._chunk_slots):
             stop = min(start + self._chunk_slots, self._n_slots)
-            tail = self._load_chunk(start, stop, cursors, tail)
+            tail = load(start, stop, tail)
             for slot in range(start, stop):
                 self._advance_slot(slot, state)
             state.recorder.flush_delays(
@@ -399,22 +469,69 @@ class StreamingBatchSimulator(BatchSimulator):
 
     def _collect(self, recorder: StreamingAggregator, cycles, lt_ledger,
                  rt_ledger) -> list[ScenarioMetrics]:
+        """Fold the aggregator into metrics, one array pass per field.
+
+        Every derived quantity uses the same elementwise IEEE-754
+        operations :meth:`StreamingAggregator.scenario_metrics` applies
+        per scenario, so the records are bit-identical to the
+        per-index path (which :meth:`ScenarioMetrics.from_result`, the
+        in-memory reference, still runs through).
+        """
         names = self.controller.names
-        return [
-            recorder.scenario_metrics(
-                index,
+        get = recorder._sums
+        cost_lt, cost_rt = get["cost_lt"], get["cost_rt"]
+        cost_battery, cost_waste = get["cost_battery"], get["cost_waste"]
+        total = cost_lt + cost_rt + cost_battery + cost_waste
+        served_ds, unserved_ds = get["served_ds"], get["unserved_ds"]
+        demand_ds = served_ds + unserved_ds
+        used, curtailed = (get["renewable_used"],
+                           get["renewable_curtailed"])
+        produced = used + curtailed
+        lost = curtailed + np.minimum(get["waste"], used)
+        ratio = np.zeros(self._batch)
+        np.divide(lost, produced, out=ratio, where=produced != 0)
+        utilization = np.where(produced == 0, 1.0,
+                               np.maximum(0.0, 1.0 - ratio))
+        ds_ratio = np.zeros(self._batch)
+        np.divide(served_ds, demand_ds, out=ds_ratio,
+                  where=demand_ds != 0)
+        availability = np.where(demand_ds == 0, 1.0, ds_ratio)
+        throughput = get["charge"] + get["discharge"]
+        metrics = []
+        for index in range(self._batch):
+            stats = recorder.delay_stats(index)
+            metrics.append(ScenarioMetrics(
                 controller_name=names[index],
                 n_slots=self._n_slots,
-                battery_operations=int(cycles.operations[index]),
+                cost_lt=float(cost_lt[index]),
+                cost_rt=float(cost_rt[index]),
+                cost_battery=float(cost_battery[index]),
+                cost_waste=float(cost_waste[index]),
+                total_cost=float(total[index]),
+                time_avg_cost=float(total[index]) / self._n_slots,
+                avg_delay_slots=stats.average_delay,
+                worst_delay_slots=stats.max_delay,
+                served_dt_energy=stats.served_energy,
+                availability=float(availability[index]),
+                unserved_ds_total=float(unserved_ds[index]),
+                renewable_utilization=float(utilization[index]),
+                waste_mwh=float(get["waste"][index]),
+                battery_ops=int(cycles.operations[index]),
+                battery_throughput=float(throughput[index]),
+                peak_backlog=float(recorder._peak_backlog[index]),
+                final_backlog=float(recorder._final_backlog[index]),
+                battery_min=float(recorder._battery_min[index]),
+                battery_max=float(recorder._battery_max[index]),
                 lt_energy=float(lt_ledger.energy[index]),
                 rt_energy=float(rt_ledger.energy[index]),
                 seed=self._seeds[index],
-            )
-            for index in range(self._batch)
-        ]
+            ))
+        return metrics
 
 
 def simulate_stream(runs: Sequence[StreamRunSpec],
-                    chunk_coarse: int = 4) -> list[ScenarioMetrics]:
+                    chunk_coarse: int = 4,
+                    batch_traces: bool = True) -> list[ScenarioMetrics]:
     """Convenience wrapper mirroring :func:`repro.sim.batch.simulate_many`."""
-    return StreamingBatchSimulator(runs, chunk_coarse=chunk_coarse).run()
+    return StreamingBatchSimulator(runs, chunk_coarse=chunk_coarse,
+                                   batch_traces=batch_traces).run()

@@ -85,6 +85,7 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
     specs = [ScenarioSpec.from_dict(data) for data in payload["specs"]]
     chunk_coarse = int(payload["chunk_coarse"])
     streamable = bool(payload["streamable"])
+    batch_traces = bool(payload.get("batch_traces", True))
 
     if streamable:
         runs = []
@@ -95,7 +96,8 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
                 controller=spec.build_controller(),
                 stream=spec.open_stream(system)))
         metrics = StreamingBatchSimulator(
-            runs, chunk_coarse=chunk_coarse).run()
+            runs, chunk_coarse=chunk_coarse,
+            batch_traces=batch_traces).run()
         engine = "stream"
     else:
         run_specs = []
@@ -118,6 +120,9 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
             "seed": spec.seed,
             "controller": spec.controller_kind,
             "engine": engine,
+            # A fresh copy, not payload["specs"][i]: records are handed
+            # to callers, and aliasing the runner's cached payload would
+            # let a mutated record corrupt an in-process re-run.
             "spec": spec.to_dict(),
             "metrics": m.as_dict(),
         }
@@ -146,13 +151,19 @@ class FleetRunner:
         Optional :class:`~repro.fleet.store.ResultStore`; finished
         shards append to it *incrementally*, so a long sweep's results
         survive interruption.
+    batch_traces:
+        Whether streamed shards may load trace chunks through the
+        vectorized :class:`~repro.fleet.stream.BatchTraceStream`
+        kernels (default).  ``False`` forces the per-scenario scalar
+        cursors — bit-identical, and what the trace benchmark uses as
+        its baseline.
     """
 
     def __init__(self, specs: Iterable[ScenarioSpec], *,
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  chunk_coarse: int = DEFAULT_CHUNK_COARSE,
                  max_workers: int | None = None,
-                 store=None):
+                 store=None, batch_traces: bool = True):
         self.specs = list(specs)
         if not self.specs:
             raise ValueError("fleet has no scenarios")
@@ -162,6 +173,7 @@ class FleetRunner:
         self.chunk_coarse = chunk_coarse
         self.max_workers = max_workers
         self.store = store
+        self.batch_traces = batch_traces
         self._payloads: list[dict] | None = None
 
     # ------------------------------------------------------------------
@@ -188,6 +200,7 @@ class FleetRunner:
                     "specs": [self.specs[i].to_dict() for i in shard],
                     "chunk_coarse": self.chunk_coarse,
                     "streamable": bool(key[-1]),
+                    "batch_traces": self.batch_traces,
                 })
         self._payloads = payloads
         return payloads

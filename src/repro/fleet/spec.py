@@ -43,6 +43,7 @@ from __future__ import annotations
 import itertools
 import json
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -77,10 +78,61 @@ STREAMABLE_CONTROLLERS = frozenset({"smartdpss", "impatient", "myopic"})
 TRACE_KINDS = ("stream", "paper")
 
 
+def _build_system(preset: str, options: Mapping[str, object]
+                  ) -> SystemConfig:
+    if preset == "paper":
+        return paper_system_config(**options)
+    return SystemConfig(**options)
+
+
+@lru_cache(maxsize=1024)
+def _cached_system(preset: str, items: tuple) -> SystemConfig:
+    """Shared frozen :class:`SystemConfig` per distinct spec options.
+
+    Fleet sweeps build the *same* system for thousands of scenarios
+    (planning calls ``group_key`` per spec, workers rebuild per spec);
+    ``SystemConfig`` is frozen, so one instance can safely serve them
+    all.
+    """
+    return _build_system(preset, dict(items))
+
+
+def _build_models(demand: Mapping, solar: Mapping, price: Mapping,
+                  d_dt_max: float, slot_hours: float, p_max: float):
+    return (DemandModel(d_dt_max=d_dt_max, slot_hours=slot_hours,
+                        **demand),
+            SolarModel(slot_hours=slot_hours, **solar),
+            PriceModel(price_cap=p_max, slot_hours=slot_hours,
+                       **price))
+
+
+@lru_cache(maxsize=1024)
+def _cached_models(demand: tuple, solar: tuple, price: tuple,
+                   d_dt_max: float, slot_hours: float, p_max: float):
+    """Shared frozen trace models per distinct override set (the
+    models are frozen dataclasses, so sweeps that only vary seeds or
+    controller knobs reuse one triple)."""
+    return _build_models(dict(demand), dict(solar), dict(price),
+                         d_dt_max, slot_hours, p_max)
+
+
+@lru_cache(maxsize=1024)
+def _cached_smartdpss_config(items: tuple) -> SmartDPSSConfig:
+    """Shared frozen controller config per distinct option set."""
+    return SmartDPSSConfig(**dict(items))
+
+
+def _smartdpss_config(options: Mapping[str, object]) -> SmartDPSSConfig:
+    try:
+        return _cached_smartdpss_config(tuple(sorted(options.items())))
+    except TypeError:
+        return SmartDPSSConfig(**options)
+
+
 def _controller_factory(kind: str) -> Callable:
     if kind == "smartdpss":
         return lambda options, traces: SmartDPSS(
-            SmartDPSSConfig(**options))
+            _smartdpss_config(options))
     if kind == "impatient":
         from repro.baselines.impatient import ImpatientController
 
@@ -161,12 +213,16 @@ class ScenarioSpec:
     def build_system(self) -> SystemConfig:
         options = dict(self.system)
         preset = options.pop("preset", "paper")
-        if preset == "paper":
-            return paper_system_config(**options)
-        if preset == "raw":
-            return SystemConfig(**options)
-        raise ConfigurationError(
-            f"unknown system preset {preset!r} (use 'paper' or 'raw')")
+        if preset not in ("paper", "raw"):
+            raise ConfigurationError(
+                f"unknown system preset {preset!r} (use 'paper' or "
+                f"'raw')")
+        try:
+            return _cached_system(preset,
+                                  tuple(sorted(options.items())))
+        except TypeError:
+            # Unhashable option values: build uncached.
+            return _build_system(preset, options)
 
     def _model_overrides(self, system: SystemConfig):
         options = dict(self.trace)
@@ -178,13 +234,16 @@ class ScenarioSpec:
         if options:
             raise ConfigurationError(
                 f"unknown trace options {sorted(options)}")
-        demand_model = DemandModel(d_dt_max=system.d_dt_max,
-                                   slot_hours=system.slot_hours,
-                                   **demand)
-        solar_model = SolarModel(slot_hours=system.slot_hours, **solar)
-        price_model = PriceModel(price_cap=system.p_max,
-                                 slot_hours=system.slot_hours, **price)
-        return demand_model, solar_model, price_model
+        try:
+            return _cached_models(
+                tuple(sorted(demand.items())),
+                tuple(sorted(solar.items())),
+                tuple(sorted(price.items())),
+                system.d_dt_max, system.slot_hours, system.p_max)
+        except TypeError:
+            # Unhashable override values: build uncached.
+            return _build_models(demand, solar, price, system.d_dt_max,
+                                 system.slot_hours, system.p_max)
 
     def open_stream(self, system: SystemConfig | None = None
                     ) -> TraceStream:

@@ -10,9 +10,10 @@ Two sources are provided:
 
 * :class:`StreamingPaperTraces` — the paper's synthetic trace family
   regenerated chunk by chunk.  Each stochastic sub-process (demand
-  noise, batch arrivals, cloud regimes, solar jitter, solar noise, the
-  two price processes) draws from its *own* named substream
-  (:mod:`repro.rng`) and threads explicit carry state
+  noise, batch-job counts, batch-job sizes, cloud regimes, solar
+  jitter, solar noise, price noise, price spikes, the forward curve)
+  draws from its *own* named substream (:mod:`repro.rng`) and threads
+  explicit carry state
   (:class:`~repro.traces.demand.DemandChunkState` and friends) across
   chunks, so the concatenation of sequential windows is **bit-identical
   for every chunk size** — including one window covering the whole
@@ -23,7 +24,21 @@ Two sources are provided:
   :func:`~repro.traces.library.make_paper_traces` (which shares one
   generator per component), so the ``"stream"`` family is its own
   deterministic trace universe: same statistics, different realization
-  per seed.
+  per seed.  The per-slot references for this discipline are the
+  ``*_stream_chunk`` methods in :mod:`repro.traces` (one batched draw
+  per substream per window, every transcendental via NumPy), designed
+  so the vectorized kernels below reproduce them bit for bit.
+
+* :class:`BatchTraceStream` — all ``B`` scenarios of a fleet shard
+  behind **one** cursor.  Each ``read`` emits a whole
+  :class:`~repro.traces.base.TraceBlock` of ``(B, chunk)`` columns
+  through the vectorized kernels
+  (:class:`~repro.traces.demand.DemandTraceKernel`,
+  :class:`~repro.traces.solar.SolarTraceKernel`,
+  :class:`~repro.traces.prices.PriceTraceKernel`) — one kernel pass
+  per window instead of ``B × chunk`` Python loop iterations, and
+  bit-identical to ``B`` independent :class:`StreamingPaperTraces`
+  cursors (the scalar reference path the equivalence harness runs).
 
 * :class:`ArrayTraceStream` — wraps an already-materialized
   :class:`TraceSet` so in-memory recipes flow through the same cursor
@@ -39,28 +54,47 @@ can be replayed any number of times.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from types import MappingProxyType
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.exceptions import TraceError
 from repro.rng import RngFactory
-from repro.traces.base import TraceSet
+from repro.traces.base import TraceBlock, TraceSet
 from repro.traces.demand import (
     DemandChunkState,
     DemandModel,
+    DemandTraceKernel,
     GoogleClusterDemandGenerator,
 )
 from repro.traces.prices import (
     NyisoLikePriceGenerator,
     PriceChunkState,
     PriceModel,
+    PriceTraceKernel,
 )
 from repro.traces.scaling import clip_demand_peaks
 from repro.traces.solar import (
     MidcLikeSolarGenerator,
     SolarChunkState,
     SolarModel,
+    SolarTraceKernel,
+)
+
+#: Substream names, in the order one scenario's generators are minted.
+#: Shared by the scalar cursor and the batch cursor so both consume
+#: identically-seeded streams per scenario.
+_SUBSTREAMS = (
+    "stream:demand_ds",
+    "stream:demand_dt",
+    "stream:demand_dt:sizes",
+    "stream:solar:clouds",
+    "stream:solar:jitter",
+    "stream:solar:noise",
+    "stream:price_rt",
+    "stream:price_rt:spikes",
+    "stream:price_lt",
 )
 
 #: Default window size (fine slots) used by ``materialize``.
@@ -116,10 +150,18 @@ class TraceStream:
         the chunk-size invariance equals the output for *any* chunking
         — this is the in-memory reference the equivalence harness runs
         through :class:`~repro.sim.batch.BatchSimulator`.
+
+        Window metadata that counts per-window events aggregates over
+        the horizon: ``peak_clip_slots`` (written by the ``Pgrid``
+        peak clip) is the *sum* of the windows' clip counts, matching
+        what one full-horizon clip would have recorded.
         """
         windows = list(self.windows(chunk_slots))
         meta = dict(windows[0].meta)
-        meta.pop("peak_clip_slots", None)
+        clip_counts = [w.meta["peak_clip_slots"] for w in windows
+                       if "peak_clip_slots" in w.meta]
+        if clip_counts:
+            meta["peak_clip_slots"] = int(sum(clip_counts))
         return TraceSet(
             demand_ds=np.concatenate([w.demand_ds for w in windows]),
             demand_dt=np.concatenate([w.demand_dt for w in windows]),
@@ -132,10 +174,17 @@ class TraceStream:
 
 
 class _ArrayCursor(TraceCursor):
-    """Cursor over a resident :class:`TraceSet`."""
+    """Cursor over a resident :class:`TraceSet`.
+
+    Every window of one cursor shares the source's metadata through a
+    single read-only view — window meta is identical across windows,
+    and profiling showed the per-window ``dict`` copies dominating
+    cursor overhead at small chunk sizes.
+    """
 
     def __init__(self, traces: TraceSet):
         self._traces = traces
+        self._meta = MappingProxyType(traces.meta)
         self._position = 0
 
     @property
@@ -157,7 +206,7 @@ class _ArrayCursor(TraceCursor):
             renewable=traces.renewable[start:stop],
             price_rt=traces.price_rt[start:stop],
             price_lt_hourly=traces.price_lt_hourly[start:stop],
-            meta=dict(traces.meta),
+            meta=self._meta,
         )
 
 
@@ -188,25 +237,27 @@ class _PaperStreamState:
     price: PriceChunkState = field(default_factory=PriceChunkState)
 
 
+def _substream_rngs(seed: int) -> dict[str, np.random.Generator]:
+    """One fresh generator per named substream for one scenario."""
+    factory = RngFactory(seed)
+    return {name: factory.stream(name) for name in _SUBSTREAMS}
+
+
 class _PaperStreamCursor(TraceCursor):
-    """Sequential generator-backed cursor.
+    """Sequential scalar-reference cursor.
 
     Holds one dedicated :class:`numpy.random.Generator` per stochastic
     sub-process (created once, advanced strictly per slot) plus the
     AR(1)/Markov carry state, so successive ``read`` calls continue
-    every process exactly where the previous window left it.
+    every process exactly where the previous window left it.  This is
+    the per-slot reference path: :class:`BatchTraceStream` must match
+    it bit for bit, and ``materialize`` — hence the in-memory engine
+    the equivalence harness compares against — runs through it.
     """
 
     def __init__(self, stream: "StreamingPaperTraces"):
         self._stream = stream
-        factory = RngFactory(stream.seed)
-        self._rng_dds = factory.stream("stream:demand_ds")
-        self._rng_ddt = factory.stream("stream:demand_dt")
-        self._rng_clouds = factory.stream("stream:solar:clouds")
-        self._rng_jitter = factory.stream("stream:solar:jitter")
-        self._rng_noise = factory.stream("stream:solar:noise")
-        self._rng_prt = factory.stream("stream:price_rt")
-        self._rng_plt = factory.stream("stream:price_lt")
+        self._rngs = _substream_rngs(stream.seed)
         self._state = _PaperStreamState()
         self._position = 0
 
@@ -222,19 +273,23 @@ class _PaperStreamCursor(TraceCursor):
                 f"read past end of stream: [{start}, {start + n_slots}) "
                 f"of {stream.n_slots} slots")
         state = self._state
+        rngs = self._rngs
         demand_gen = stream.demand_generator
-        demand_ds = demand_gen.delay_sensitive_chunk(
-            start, n_slots, self._rng_dds, state.demand)
-        demand_dt = demand_gen.delay_tolerant_chunk(
-            start, n_slots, self._rng_ddt)
+        demand_ds = demand_gen.delay_sensitive_stream_chunk(
+            start, n_slots, rngs["stream:demand_ds"], state.demand)
+        demand_dt = demand_gen.delay_tolerant_stream_chunk(
+            start, n_slots, rngs["stream:demand_dt"],
+            rngs["stream:demand_dt:sizes"])
         renewable = stream.solar_generator.generate_chunk(
-            start, n_slots, self._rng_clouds, self._rng_jitter,
-            self._rng_noise, state.solar)
+            start, n_slots, rngs["stream:solar:clouds"],
+            rngs["stream:solar:jitter"], rngs["stream:solar:noise"],
+            state.solar)
         price_gen = stream.price_generator
-        price_rt = price_gen.real_time_prices_chunk(
-            start, n_slots, self._rng_prt, state.price)
+        price_rt = price_gen.real_time_stream_chunk(
+            start, n_slots, rngs["stream:price_rt"],
+            rngs["stream:price_rt:spikes"], state.price)
         price_lt = price_gen.forward_curve_chunk(
-            start, n_slots, self._rng_plt)
+            start, n_slots, rngs["stream:price_lt"])
         self._position = start + n_slots
 
         window = TraceSet(
@@ -294,3 +349,152 @@ class StreamingPaperTraces(TraceStream):
 
     def open(self) -> TraceCursor:
         return _PaperStreamCursor(self)
+
+
+class _BatchPaperCursor:
+    """One cursor serving all ``B`` scenarios of a batch stream.
+
+    Structured exactly like ``B`` :class:`_PaperStreamCursor` objects —
+    the same named substreams per scenario, the same carry state — but
+    the state lives in ``(B,)`` arrays and every ``read`` is one
+    vectorized kernel pass per component instead of ``B × chunk``
+    Python iterations.
+    """
+
+    def __init__(self, stream: "BatchTraceStream"):
+        self._stream = stream
+        batch = stream.n_scenarios
+        rngs: dict[str, list[np.random.Generator]] = {
+            name: [] for name in _SUBSTREAMS}
+        for source in stream.streams:
+            for name, rng in _substream_rngs(source.seed).items():
+                rngs[name].append(rng)
+        self._rngs = rngs
+        self._demand_level = np.zeros(batch)
+        self._cloud_state = np.full(batch, -1, dtype=np.int64)
+        self._solar_level = np.zeros(batch)
+        self._price_level = np.zeros(batch)
+        self._position = 0
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def read(self, n_slots: int) -> TraceBlock:
+        stream = self._stream
+        start = self._position
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        if start + n_slots > stream.n_slots:
+            raise TraceError(
+                f"read past end of stream: [{start}, {start + n_slots}) "
+                f"of {stream.n_slots} slots")
+        rngs = self._rngs
+        demand_ds, self._demand_level = \
+            stream.demand_kernel.sensitive_block(
+                start, n_slots, rngs["stream:demand_ds"],
+                self._demand_level)
+        demand_dt = stream.demand_kernel.tolerant_block(
+            start, n_slots, rngs["stream:demand_dt"],
+            rngs["stream:demand_dt:sizes"])
+        renewable, self._cloud_state, self._solar_level = \
+            stream.solar_kernel.block(
+                start, n_slots, rngs["stream:solar:clouds"],
+                rngs["stream:solar:jitter"], rngs["stream:solar:noise"],
+                self._cloud_state, self._solar_level)
+        price_rt, self._price_level = \
+            stream.price_kernel.real_time_block(
+                start, n_slots, rngs["stream:price_rt"],
+                rngs["stream:price_rt:spikes"], self._price_level)
+        price_lt = stream.price_kernel.forward_block(
+            start, n_slots, rngs["stream:price_lt"])
+        self._position = start + n_slots
+
+        meta = {"seeds": stream.seeds, "source": "BatchTraceStream",
+                "window_start": start}
+        clip = stream.clip_p_grid
+        if clip is not None:
+            # Vectorized twin of clip_demand_peaks: same per-slot scale
+            # (p_grid / total on over-cap slots, 1 elsewhere), applied
+            # per scenario; rows without a cap never trigger (inf).
+            total = demand_ds + demand_dt
+            over = total > clip[:, None]
+            scale = np.ones_like(total)
+            np.divide(np.broadcast_to(clip[:, None], total.shape),
+                      total, out=scale, where=over)
+            demand_ds = demand_ds * scale
+            demand_dt = demand_dt * scale
+            meta["peak_clip_slots"] = over.sum(axis=1)
+        return TraceBlock(
+            demand_ds=demand_ds,
+            demand_dt=demand_dt,
+            renewable=renewable,
+            price_rt=price_rt,
+            price_lt_hourly=price_lt,
+            meta=meta,
+        )
+
+
+class BatchTraceStream:
+    """All scenarios of a fleet shard behind one vectorized cursor.
+
+    Wraps ``B`` :class:`StreamingPaperTraces` descriptions and serves
+    their windows as :class:`~repro.traces.base.TraceBlock` batches:
+    one kernel call per component per window.  Output is bit-identical
+    to reading the ``B`` per-scenario cursors independently (the scalar
+    reference path), which is what the streamed fleet engine's
+    equivalence gate relies on.
+
+    Use :meth:`for_streams` to build one when a shard's trace sources
+    allow it (every source must be a :class:`StreamingPaperTraces`);
+    heterogeneous models and per-source ``clip_p_grid`` values are
+    fine — parameters stack into per-scenario vectors.
+    """
+
+    def __init__(self, streams: Sequence[StreamingPaperTraces]):
+        if not streams:
+            raise ValueError("batch stream needs at least one scenario")
+        for source in streams:
+            if not isinstance(source, StreamingPaperTraces):
+                raise TypeError(
+                    f"BatchTraceStream requires StreamingPaperTraces "
+                    f"sources, got {type(source).__name__}")
+        self.streams = tuple(streams)
+        self.seeds = tuple(source.seed for source in self.streams)
+        self.demand_kernel = DemandTraceKernel(
+            [source.demand_model for source in self.streams])
+        self.solar_kernel = SolarTraceKernel(
+            [source.solar_model for source in self.streams])
+        self.price_kernel = PriceTraceKernel(
+            [source.price_model for source in self.streams])
+        clips = [source.clip_p_grid for source in self.streams]
+        if any(clip is not None and clip > 0 for clip in clips):
+            self.clip_p_grid = np.array(
+                [clip if (clip is not None and clip > 0) else np.inf
+                 for clip in clips])
+        else:
+            self.clip_p_grid = None
+
+    @classmethod
+    def for_streams(cls, streams: Sequence[TraceStream]
+                    ) -> "BatchTraceStream | None":
+        """A batch stream over ``streams``, or ``None`` if any source
+        is not kernel-backed (the caller falls back to per-scenario
+        cursors)."""
+        if not streams or not all(
+                isinstance(source, StreamingPaperTraces)
+                for source in streams):
+            return None
+        return cls(streams)
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.streams)
+
+    @property
+    def n_slots(self) -> int:
+        """Slots every scenario can serve (the shortest horizon)."""
+        return min(source.n_slots for source in self.streams)
+
+    def open(self) -> _BatchPaperCursor:
+        return _BatchPaperCursor(self)

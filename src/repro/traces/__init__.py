@@ -9,10 +9,11 @@ the paper's experiments apply to them (renewable penetration, demand
 variance shaping, system expansion ``β``, peak clipping at ``Pgrid``).
 """
 
-from repro.traces.base import Trace, TraceSet
+from repro.traces.base import Trace, TraceBlock, TraceSet
 from repro.traces.demand import (
     DemandChunkState,
     DemandModel,
+    DemandTraceKernel,
     GoogleClusterDemandGenerator,
 )
 from repro.traces.library import make_paper_traces
@@ -21,6 +22,7 @@ from repro.traces.prices import (
     NyisoLikePriceGenerator,
     PriceChunkState,
     PriceModel,
+    PriceTraceKernel,
 )
 from repro.traces.scaling import (
     clip_demand_peaks,
@@ -32,13 +34,18 @@ from repro.traces.solar import (
     MidcLikeSolarGenerator,
     SolarChunkState,
     SolarModel,
+    SolarTraceKernel,
 )
 from repro.traces.validation import all_valid, validate_paper_traces
 from repro.traces.wind import WindModel, WindTraceGenerator
 
 __all__ = [
     "Trace",
+    "TraceBlock",
     "TraceSet",
+    "DemandTraceKernel",
+    "SolarTraceKernel",
+    "PriceTraceKernel",
     "DemandChunkState",
     "PriceChunkState",
     "SolarChunkState",

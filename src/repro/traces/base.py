@@ -7,6 +7,13 @@ production, real-time price and the hourly long-term forward curve — and
 derives per-coarse-slot long-term prices for any coarse length ``T``
 (which is how the Fig. 6(c,d) ``T``-sweep reuses one set of hourly
 traces).
+
+A :class:`TraceBlock` is the batched counterpart: the same five series
+for ``B`` scenarios at once as ``(B, n_slots)`` arrays.  It is what the
+vectorized trace kernels (:class:`~repro.traces.demand.DemandTraceKernel`
+and friends) emit and what the streamed fleet engine consumes — one
+block per window instead of ``B`` per-scenario :class:`TraceSet`
+windows.
 """
 
 from __future__ import annotations
@@ -16,6 +23,26 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import HorizonMismatchError, TraceError
+
+
+def slot_time_indices(start_slot: int, n_slots: int, slot_hours: float,
+                      start_weekday: int
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Hour-of-day and weekend indices for a window of fine slots.
+
+    Vectorized twin of the per-slot ``int((slot * slot_hours) % 24)`` /
+    ``(start_weekday + (slot * slot_hours) // 24) % 7`` arithmetic the
+    scalar generators use — the exact same float64 operations, so index
+    arrays match the scalar loops bit for bit.  Returns ``(hours,
+    weekend)`` with ``hours`` an int array in ``[0, 24)`` and
+    ``weekend`` a boolean mask (Saturday/Sunday).
+    """
+    slots = np.arange(start_slot, start_slot + n_slots, dtype=float)
+    t = slots * slot_hours
+    hours = (t % 24.0).astype(np.int64)
+    days = (t // 24.0).astype(np.int64)
+    weekend = (start_weekday + days) % 7 >= 5
+    return hours, weekend
 
 
 def _validated_array(name: str, values: object, *,
@@ -232,3 +259,93 @@ class TraceSet:
             "price_lt_hourly": Trace("price_lt", self.price_lt_hourly,
                                      "$/MWh").summary(),
         }
+
+
+#: The five series bundled by :class:`TraceSet` / :class:`TraceBlock`.
+SERIES_FIELDS = ("demand_ds", "demand_dt", "renewable", "price_rt",
+                 "price_lt_hourly")
+
+
+@dataclass(frozen=True)
+class TraceBlock:
+    """A batch of scenario windows: five ``(B, n_slots)`` series.
+
+    Semantics per series match :class:`TraceSet`; row ``b`` is scenario
+    ``b``'s window.  Validation (finiteness, non-negativity, matched
+    shapes) runs once over the whole block instead of ``B`` times, and
+    the arrays are frozen in place rather than copied — the kernels
+    hand over ownership.
+    """
+
+    demand_ds: np.ndarray
+    demand_dt: np.ndarray
+    renewable: np.ndarray
+    price_rt: np.ndarray
+    price_lt_hourly: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        shapes = set()
+        for name in SERIES_FIELDS:
+            array = np.asarray(getattr(self, name), dtype=float)
+            if array.ndim != 2:
+                raise TraceError(
+                    f"{name} must be (B, n_slots), got shape "
+                    f"{array.shape}")
+            if array.size == 0:
+                raise TraceError(f"{name} must be non-empty")
+            if not np.all(np.isfinite(array)):
+                raise TraceError(f"{name} contains NaN or infinite "
+                                 f"values")
+            if np.any(array < 0):
+                raise TraceError(f"{name} must be >= 0, found "
+                                 f"{float(array.min())}")
+            array.setflags(write=False)
+            object.__setattr__(self, name, array)
+            shapes.add(array.shape)
+        if len(shapes) != 1:
+            raise HorizonMismatchError(
+                f"trace block series have mismatched shapes: {shapes}")
+
+    @property
+    def n_scenarios(self) -> int:
+        return int(self.demand_ds.shape[0])
+
+    @property
+    def n_slots(self) -> int:
+        return int(self.demand_ds.shape[1])
+
+    def coarse_prices(self, fine_slots_per_coarse: int) -> np.ndarray:
+        """``(B, K)`` long-term prices: per-coarse-slot forward means.
+
+        Row ``b`` equals ``TraceSet.coarse_prices`` of scenario ``b``
+        bit for bit (the reduction runs over the same contiguous ``T``
+        elements per coarse slot).
+        """
+        t = int(fine_slots_per_coarse)
+        if t < 1:
+            raise ValueError(f"T must be >= 1, got {t}")
+        if self.n_slots % t != 0:
+            raise HorizonMismatchError(
+                f"{self.n_slots} slots do not divide into coarse slots "
+                f"of T={t}")
+        return self.price_lt_hourly.reshape(
+            self.n_scenarios, -1, t).mean(axis=2)
+
+    def scenario(self, index: int) -> TraceSet:
+        """Scenario ``index``'s window as a plain :class:`TraceSet`."""
+        meta = dict(self.meta)
+        seeds = meta.pop("seeds", None)
+        if seeds is not None:
+            meta["seed"] = seeds[index]
+        clip_counts = meta.get("peak_clip_slots")
+        if clip_counts is not None:
+            meta["peak_clip_slots"] = int(np.asarray(clip_counts)[index])
+        return TraceSet(
+            demand_ds=self.demand_ds[index],
+            demand_dt=self.demand_dt[index],
+            renewable=self.renewable[index],
+            price_rt=self.price_rt[index],
+            price_lt_hourly=self.price_lt_hourly[index],
+            meta=meta,
+        )

@@ -20,10 +20,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.traces.base import slot_time_indices
 
 
 @dataclass
@@ -225,3 +227,202 @@ class GoogleClusterDemandGenerator:
         sensitive = self.delay_sensitive(n_slots, rng)
         tolerant = self.delay_tolerant(n_slots, rng)
         return sensitive, tolerant
+
+    # ------------------------------------------------------------------
+    # Stream-family scalar references
+    # ------------------------------------------------------------------
+    #
+    # The streamed trace family ("stream" recipes) uses a draw
+    # discipline designed so every stochastic component can be batched
+    # across slots with NumPy ``Generator`` calls that are
+    # sequential-draw-identical to a scalar loop: the AR(1) noise takes
+    # one ``standard_normal`` per slot (unchanged), while the compound
+    # Poisson-lognormal arrivals split job *counts* and job *sizes*
+    # into two substreams (a single-stream loop interleaves
+    # variable-length draws and cannot be batched bit-identically).
+    # The methods below are the per-slot reference loops for that
+    # discipline; :class:`DemandTraceKernel` is the vectorized twin the
+    # property tests compare against, bit for bit.
+
+    def delay_sensitive_stream_chunk(self, start_slot: int, n_slots: int,
+                                     rng: np.random.Generator,
+                                     state: DemandChunkState) -> np.ndarray:
+        """Stream-family scalar reference for ``dds`` chunks.
+
+        Identical to :meth:`delay_sensitive_chunk` except the noise
+        multiplier is exponentiated with :func:`numpy.exp` (the SIMD
+        kernel's transcendental) instead of :func:`math.exp`, so the
+        vectorized kernel can match it exactly on hardware where the
+        two differ in the last ulp.
+        """
+        model = self.model
+        series = np.empty(n_slots)
+        log_noise = state.log_noise
+        scale = model.noise_sigma * math.sqrt(1.0 - model.noise_rho ** 2)
+        half_sig2 = model.noise_sigma ** 2 / 2.0
+        for index in range(n_slots):
+            slot = start_slot + index
+            hour = self._hour(slot)
+            weekend = self._weekday(slot) >= 5
+            factor = model.weekend_factor if weekend else 1.0
+            interactive = (model.search_peak_mw * _SEARCH_SHAPE[hour]
+                           + model.mail_peak_mw * _MAIL_SHAPE[hour]) * factor
+            log_noise = (model.noise_rho * log_noise
+                         + scale * rng.standard_normal())
+            multiplier = np.exp(log_noise - half_sig2)
+            power = model.static_floor_mw + interactive * multiplier
+            series[index] = max(0.0, power * model.slot_hours)
+        state.log_noise = float(log_noise)
+        return series
+
+    def delay_tolerant_stream_chunk(self, start_slot: int, n_slots: int,
+                                    count_rng: np.random.Generator,
+                                    size_rng: np.random.Generator
+                                    ) -> np.ndarray:
+        """Stream-family scalar reference for ``ddt`` chunks.
+
+        Job counts draw from ``count_rng`` (one Poisson per slot) and
+        job sizes from ``size_rng`` (one lognormal per job), so the
+        batched counts-then-split kernel consumes both substreams in
+        exactly this order.  Per-slot totals accumulate left to right —
+        the same addition order ``numpy.bincount`` uses.
+        """
+        model = self.model
+        series = np.empty(n_slots)
+        log_median = math.log(model.batch_job_energy_mwh) \
+            if model.batch_job_energy_mwh > 0 else 0.0
+        for index in range(n_slots):
+            hour = self._hour(start_slot + index)
+            rate = (model.batch_jobs_per_hour * _BATCH_SHAPE[hour]
+                    * model.slot_hours)
+            n_jobs = count_rng.poisson(rate)
+            if n_jobs == 0 or model.batch_job_energy_mwh == 0:
+                series[index] = 0.0
+                continue
+            sizes = size_rng.lognormal(mean=log_median,
+                                       sigma=model.batch_sigma,
+                                       size=n_jobs)
+            total = 0.0
+            for size in sizes.tolist():
+                total += size
+            series[index] = min(total, model.d_dt_max)
+        return series
+
+
+class DemandTraceKernel:
+    """Vectorized demand generation for a batch of scenarios.
+
+    Stacks ``B`` (possibly heterogeneous) :class:`DemandModel`
+    parameter sets once, then emits whole ``(B, n_slots)`` blocks per
+    call: the AR(1) noise draws one batched ``standard_normal(n)`` per
+    scenario and scans the carry across slots (the recursion's FP
+    order is exactly the scalar loop's), and the compound
+    Poisson-lognormal arrivals draw per-slot counts in one
+    ``poisson(rate_vec)`` call, all job sizes in one lognormal call,
+    then split them back onto slots with ``bincount`` (sequential
+    additions, matching the reference's left-to-right sums).
+
+    Bit-identical to :meth:`GoogleClusterDemandGenerator.
+    delay_sensitive_stream_chunk` /
+    :meth:`~GoogleClusterDemandGenerator.delay_tolerant_stream_chunk`
+    for any chunking (gated by ``tests/property/test_trace_kernels.py``).
+    """
+
+    def __init__(self, models: Sequence[DemandModel]):
+        if not models:
+            raise ValueError("need at least one demand model")
+        self.models = tuple(models)
+        # Derived per-scenario constants use the same Python-scalar
+        # arithmetic as the reference loops (``**`` and ``math.sqrt``
+        # on floats), so no vector op can round differently.
+        self._rho = np.array([m.noise_rho for m in models])
+        self._scale = np.array(
+            [m.noise_sigma * math.sqrt(1.0 - m.noise_rho ** 2)
+             for m in models])
+        self._half_sig2 = np.array(
+            [m.noise_sigma ** 2 / 2.0 for m in models])
+        self._search_peak = np.array([m.search_peak_mw for m in models])
+        self._mail_peak = np.array([m.mail_peak_mw for m in models])
+        self._floor = np.array([m.static_floor_mw for m in models])
+        self._weekend_factor = np.array(
+            [m.weekend_factor for m in models])
+        self._slot_hours = np.array([m.slot_hours for m in models])
+        self._jobs_per_hour = np.array(
+            [m.batch_jobs_per_hour for m in models])
+        self._batch_sigma = [m.batch_sigma for m in models]
+        self._job_energy = [m.batch_job_energy_mwh for m in models]
+        self._log_median = [
+            math.log(m.batch_job_energy_mwh)
+            if m.batch_job_energy_mwh > 0 else 0.0 for m in models]
+        self._d_dt_max = np.array([m.d_dt_max for m in models])
+        self._time_groups: dict[tuple[float, int], list[int]] = {}
+        for index, model in enumerate(models):
+            key = (model.slot_hours, model.start_weekday)
+            self._time_groups.setdefault(key, []).append(index)
+
+    @property
+    def batch(self) -> int:
+        return len(self.models)
+
+    def _time_indices(self, start_slot: int, n_slots: int
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """``(B, n)`` hour indices and weekend masks per scenario."""
+        hours = np.empty((self.batch, n_slots), dtype=np.int64)
+        weekend = np.empty((self.batch, n_slots), dtype=bool)
+        for (slot_hours, weekday), rows in self._time_groups.items():
+            hour_row, weekend_row = slot_time_indices(
+                start_slot, n_slots, slot_hours, weekday)
+            hours[rows] = hour_row
+            weekend[rows] = weekend_row
+        return hours, weekend
+
+    def sensitive_block(self, start_slot: int, n_slots: int,
+                        rngs: Sequence[np.random.Generator],
+                        log_noise: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """``(B, n)`` block of ``dds`` plus the updated AR(1) carry."""
+        batch = self.batch
+        draws = np.empty((batch, n_slots))
+        for index, rng in enumerate(rngs):
+            draws[index] = rng.standard_normal(n_slots)
+        levels = np.empty((batch, n_slots))
+        carry = np.asarray(log_noise, dtype=float)
+        rho, scale = self._rho, self._scale
+        for slot in range(n_slots):
+            carry = rho * carry + scale * draws[:, slot]
+            levels[:, slot] = carry
+        multiplier = np.exp(levels - self._half_sig2[:, None])
+        hours, weekend = self._time_indices(start_slot, n_slots)
+        interactive = (self._search_peak[:, None] * _SEARCH_SHAPE[hours]
+                       + self._mail_peak[:, None] * _MAIL_SHAPE[hours])
+        factor = np.where(weekend, self._weekend_factor[:, None], 1.0)
+        interactive = interactive * factor
+        power = self._floor[:, None] + interactive * multiplier
+        series = np.maximum(0.0, power * self._slot_hours[:, None])
+        return series, carry
+
+    def tolerant_block(self, start_slot: int, n_slots: int,
+                       count_rngs: Sequence[np.random.Generator],
+                       size_rngs: Sequence[np.random.Generator]
+                       ) -> np.ndarray:
+        """``(B, n)`` block of ``ddt`` via counts-then-split."""
+        batch = self.batch
+        hours, _ = self._time_indices(start_slot, n_slots)
+        rate = (self._jobs_per_hour[:, None] * _BATCH_SHAPE[hours]
+                * self._slot_hours[:, None])
+        counts = np.empty((batch, n_slots), dtype=np.int64)
+        for index, rng in enumerate(count_rngs):
+            counts[index] = rng.poisson(rate[index])
+        series = np.zeros((batch, n_slots))
+        slot_ids = np.arange(n_slots)
+        for index, rng in enumerate(size_rngs):
+            total = int(counts[index].sum())
+            if total == 0 or self._job_energy[index] == 0:
+                continue
+            sizes = rng.lognormal(mean=self._log_median[index],
+                                  sigma=self._batch_sigma[index],
+                                  size=total)
+            series[index] = np.bincount(
+                np.repeat(slot_ids, counts[index]), weights=sizes,
+                minlength=n_slots)
+        return np.minimum(series, self._d_dt_max[:, None])

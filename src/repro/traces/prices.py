@@ -19,10 +19,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.traces.base import slot_time_indices
 
 @dataclass
 class PriceChunkState:
@@ -209,3 +211,146 @@ class NyisoLikePriceGenerator:
         real_time = self.real_time_prices(n_slots, rng)
         forward = self.forward_curve(n_slots, rng)
         return real_time, forward
+
+    # ------------------------------------------------------------------
+    # Stream-family scalar reference
+    # ------------------------------------------------------------------
+
+    def real_time_stream_chunk(self, start_slot: int, n_slots: int,
+                               rng: np.random.Generator,
+                               spike_rng: np.random.Generator,
+                               state: "PriceChunkState") -> np.ndarray:
+        """Stream-family scalar reference for ``prt`` chunks.
+
+        The streamed family separates the AR(1) normals (``rng``) from
+        the scarcity-spike uniforms (``spike_rng``) and always draws
+        two spike uniforms per slot (trigger and magnitude, the
+        magnitude discarded on non-spike slots).  Fixed per-slot
+        consumption from each substream is what lets the vectorized
+        kernel batch both as single array draws; a single interleaved
+        stream (the in-memory :meth:`real_time_prices_chunk` path)
+        cannot be batched bit-identically.  The multiplier uses
+        :func:`numpy.exp` for the same reason as
+        :meth:`~repro.traces.demand.GoogleClusterDemandGenerator.
+        delay_sensitive_stream_chunk`.
+        """
+        model = self.model
+        base = self._base_curve(n_slots, start_slot)
+        log_noise = state.log_noise
+        scale = model.noise_sigma * math.sqrt(1.0 - model.noise_rho ** 2)
+        half_sig2 = model.noise_sigma ** 2 / 2.0
+        prices = np.empty(n_slots)
+        for index in range(n_slots):
+            log_noise = (model.noise_rho * log_noise
+                         + scale * rng.standard_normal())
+            multiplier = np.exp(log_noise - half_sig2)
+            price = base[index] * multiplier
+            trigger = spike_rng.random()
+            magnitude = spike_rng.random()
+            if trigger < model.spike_probability:
+                price *= model.spike_scale * (1.0 + 0.5 * magnitude)
+            prices[index] = price
+        state.log_noise = float(log_noise)
+        return np.clip(prices, model.price_floor, model.price_cap)
+
+
+class PriceTraceKernel:
+    """Vectorized two-market price generation for a batch of scenarios.
+
+    Bit-identical to
+    :meth:`NyisoLikePriceGenerator.real_time_stream_chunk` /
+    :meth:`~NyisoLikePriceGenerator.forward_curve_chunk` per scenario
+    for any chunking: the AR(1) log-noise batches one
+    ``standard_normal(n)`` per scenario and scans the carry in the
+    scalar recursion's FP order, spike triggers and magnitudes come
+    from one ``random(2n)`` per scenario (even slots trigger, odd
+    slots magnitude — the reference's draw order), and the forward
+    curve was already a single batched draw per window.
+    """
+
+    def __init__(self, models: Sequence[PriceModel]):
+        if not models:
+            raise ValueError("need at least one price model")
+        self.models = tuple(models)
+        self._mean = np.array([m.mean_price for m in models])
+        self._weekend_factor = np.array(
+            [m.weekend_factor for m in models])
+        self._rho = np.array([m.noise_rho for m in models])
+        self._scale = np.array(
+            [m.noise_sigma * math.sqrt(1.0 - m.noise_rho ** 2)
+             for m in models])
+        self._half_sig2 = np.array(
+            [m.noise_sigma ** 2 / 2.0 for m in models])
+        self._spike_probability = np.array(
+            [m.spike_probability for m in models])
+        self._spike_scale = np.array([m.spike_scale for m in models])
+        self._discount = np.array(
+            [m.forward_discount for m in models])
+        self._forward_sigma = np.array(
+            [m.forward_noise_sigma for m in models])
+        self._floor = np.array([m.price_floor for m in models])
+        self._cap = np.array([m.price_cap for m in models])
+        self._time_groups: dict[tuple[float, int], list[int]] = {}
+        for index, model in enumerate(models):
+            key = (model.slot_hours, model.start_weekday)
+            self._time_groups.setdefault(key, []).append(index)
+
+    @property
+    def batch(self) -> int:
+        return len(self.models)
+
+    def _base_block(self, start_slot: int, n_slots: int) -> np.ndarray:
+        """``(B, n)`` deterministic expected real-time price."""
+        shapes = np.empty((self.batch, n_slots))
+        for (slot_hours, weekday), rows in self._time_groups.items():
+            hours, weekend = slot_time_indices(
+                start_slot, n_slots, slot_hours, weekday)
+            row_shapes = _DIURNAL_SHAPE[hours]
+            shapes[rows] = np.where(
+                weekend, row_shapes * self._weekend_factor[rows, None],
+                row_shapes)
+        return self._mean[:, None] * shapes
+
+    def real_time_block(self, start_slot: int, n_slots: int,
+                        rngs: Sequence[np.random.Generator],
+                        spike_rngs: Sequence[np.random.Generator],
+                        log_noise: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """``(B, n)`` block of ``prt`` plus the updated AR(1) carry."""
+        batch = self.batch
+        base = self._base_block(start_slot, n_slots)
+        draws = np.empty((batch, n_slots))
+        for index, rng in enumerate(rngs):
+            draws[index] = rng.standard_normal(n_slots)
+        levels = np.empty((batch, n_slots))
+        carry = np.asarray(log_noise, dtype=float)
+        rho, scale = self._rho, self._scale
+        for slot in range(n_slots):
+            carry = rho * carry + scale * draws[:, slot]
+            levels[:, slot] = carry
+        multiplier = np.exp(levels - self._half_sig2[:, None])
+        prices = base * multiplier
+        spikes = np.empty((batch, 2 * n_slots))
+        for index, rng in enumerate(spike_rngs):
+            spikes[index] = rng.random(2 * n_slots)
+        trigger = spikes[:, 0::2]
+        magnitude = spikes[:, 1::2]
+        factor = self._spike_scale[:, None] * (1.0 + 0.5 * magnitude)
+        prices = np.where(trigger < self._spike_probability[:, None],
+                          prices * factor, prices)
+        prices = np.clip(prices, self._floor[:, None],
+                         self._cap[:, None])
+        return prices, carry
+
+    def forward_block(self, start_slot: int, n_slots: int,
+                      rngs: Sequence[np.random.Generator]) -> np.ndarray:
+        """``(B, n)`` block of the hourly forward curve."""
+        batch = self.batch
+        base = self._base_block(start_slot, n_slots)
+        noise = np.empty((batch, n_slots))
+        for index, rng in enumerate(rngs):
+            noise[index] = (1.0 + self._forward_sigma[index]
+                            * rng.standard_normal(n_slots))
+        curve = (base * self._discount[:, None]
+                 * np.clip(noise, 0.5, 1.5))
+        return np.clip(curve, self._floor[:, None], self._cap[:, None])

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Sequence
 
 import numpy as np
 
@@ -122,11 +124,50 @@ def solar_elevation_sin(latitude_deg: float, day_of_year: float,
     return max(0.0, sin_elev)
 
 
+#: Exponent shaping the air-mass attenuation near the horizon.
+_AIRMASS_EXPONENT = 1.15
+
+
+@lru_cache(maxsize=512)
+def _capacity_factors(latitude_deg: float, start_day_of_year: int,
+                      slot_hours: float, start_slot: int,
+                      n_slots: int) -> np.ndarray:
+    """Clear-sky capacity factors for a window (cached, read-only).
+
+    The deterministic per-slot solar-geometry loop, hoisted out of
+    :meth:`MidcLikeSolarGenerator.clear_sky_profile` so scenarios that
+    share a sky (same latitude, calendar and slot length — everything
+    except plant capacity) compute it once per window instead of once
+    per scenario.  The per-slot arithmetic is unchanged, so profiles
+    are bit-identical to the pre-cache code.
+    """
+    factors = np.empty(n_slots)
+    for index in range(n_slots):
+        slot = start_slot + index
+        hour = (slot * slot_hours) % 24.0
+        day = start_day_of_year + (slot * slot_hours) / 24.0
+        sin_elev = solar_elevation_sin(latitude_deg, day, hour)
+        factors[index] = sin_elev ** _AIRMASS_EXPONENT
+    factors.setflags(write=False)
+    return factors
+
+
+def _cloud_cdf_table(persistence: float) -> np.ndarray:
+    """Per-state transition CDFs, exactly as ``Generator.choice`` forms
+    them (row cumsum, then normalization by the row total)."""
+    switch = (1.0 - persistence) / 2.0
+    transition = np.full((3, 3), switch)
+    np.fill_diagonal(transition, persistence)
+    cdf = transition.cumsum(axis=1)
+    cdf /= cdf[:, -1:]
+    return cdf
+
+
 class MidcLikeSolarGenerator:
     """Generates hourly solar energy series from a :class:`SolarModel`."""
 
     #: Exponent shaping the air-mass attenuation near the horizon.
-    _AIRMASS_EXPONENT = 1.15
+    _AIRMASS_EXPONENT = _AIRMASS_EXPONENT
 
     def __init__(self, model: SolarModel | None = None):
         self.model = model or SolarModel()
@@ -135,16 +176,11 @@ class MidcLikeSolarGenerator:
                           start_slot: int = 0) -> np.ndarray:
         """Deterministic clear-sky energy per slot (MWh)."""
         model = self.model
-        profile = np.empty(n_slots)
-        for index in range(n_slots):
-            slot = start_slot + index
-            hour = (slot * model.slot_hours) % 24.0
-            day = model.start_day_of_year + (slot * model.slot_hours) / 24.0
-            sin_elev = solar_elevation_sin(model.latitude_deg, day, hour)
-            capacity_factor = sin_elev ** self._AIRMASS_EXPONENT
-            profile[index] = (model.capacity_mw * capacity_factor
-                              * model.slot_hours)
-        return profile
+        factors = _capacity_factors(model.latitude_deg,
+                                    model.start_day_of_year,
+                                    model.slot_hours, start_slot,
+                                    n_slots)
+        return model.capacity_mw * factors * model.slot_hours
 
     def cloud_states(self, n_slots: int,
                      rng: np.random.Generator) -> np.ndarray:
@@ -233,3 +269,127 @@ class MidcLikeSolarGenerator:
         series = clear_sky * attenuation * jitter * noise
         return np.clip(series, 0.0, self.model.capacity_mw
                        * self.model.slot_hours)
+
+
+class SolarTraceKernel:
+    """Vectorized solar generation for a batch of scenarios.
+
+    Bit-identical to per-scenario
+    :meth:`MidcLikeSolarGenerator.generate_chunk` calls (the scalar
+    reference) for any chunking: clear-sky profiles come from the
+    shared :func:`_capacity_factors` cache (one geometry loop per
+    distinct sky per window), the Markov cloud-regime path draws one
+    batched ``random(n)`` per scenario and scans the regime carry with
+    the exact CDF comparison ``Generator.choice`` performs, and the
+    AR(1) disturbance batches its normals and scans the carry in the
+    scalar recursion's FP order.
+    """
+
+    def __init__(self, models: Sequence[SolarModel]):
+        if not models:
+            raise ValueError("need at least one solar model")
+        self.models = tuple(models)
+        self._cdf01 = np.stack([_cloud_cdf_table(m.cloud_persistence)
+                                for m in models])[:, :, :2]
+        self._attenuation = np.array([m.cloud_attenuation
+                                      for m in models])
+        self._rho = np.array([m.noise_rho for m in models])
+        self._scale = np.array(
+            [m.noise_sigma * math.sqrt(1.0 - m.noise_rho ** 2)
+             for m in models])
+        self._cap_slot = np.array(
+            [m.capacity_mw * m.slot_hours for m in models])
+
+    @property
+    def batch(self) -> int:
+        return len(self.models)
+
+    def _clear_sky_block(self, start_slot: int,
+                         n_slots: int) -> np.ndarray:
+        rows = np.empty((self.batch, n_slots))
+        for index, model in enumerate(self.models):
+            factors = _capacity_factors(
+                model.latitude_deg, model.start_day_of_year,
+                model.slot_hours, start_slot, n_slots)
+            rows[index] = model.capacity_mw * factors * model.slot_hours
+        return rows
+
+    def _cloud_states_block(self, n_slots: int,
+                            rngs: Sequence[np.random.Generator],
+                            cloud_state: np.ndarray
+                            ) -> tuple[np.ndarray, np.ndarray]:
+        """Continue every scenario's Markov path for ``n_slots`` slots.
+
+        Draw order per scenario matches the scalar loop: a fresh path
+        (carry ``< 0``) consumes one ``integers(0, 3)`` for its initial
+        regime, then one uniform per remaining slot; a continuing path
+        consumes one uniform per slot.  Each uniform is resolved
+        through the same normalized-CDF ``searchsorted`` comparison
+        ``Generator.choice`` applies, so regimes are bit-identical.
+        """
+        batch = self.batch
+        current = np.asarray(cloud_state, dtype=np.int64).copy()
+        fresh = current < 0
+        uniforms = np.empty((batch, n_slots))
+        for index, rng in enumerate(rngs):
+            if fresh[index]:
+                current[index] = int(rng.integers(0, 3))
+                uniforms[index, 0] = -1.0  # unused: slot 0 is the init
+                if n_slots > 1:
+                    uniforms[index, 1:] = rng.random(n_slots - 1)
+            else:
+                uniforms[index] = rng.random(n_slots)
+        states = np.empty((batch, n_slots), dtype=np.int64)
+        rows = np.arange(batch)
+        continuing = ~fresh
+        for slot in range(n_slots):
+            u = uniforms[:, slot]
+            if slot == 0 and fresh.any():
+                if continuing.any():
+                    bounds = self._cdf01[rows, current]
+                    stepped = ((u >= bounds[:, 0]).astype(np.int64)
+                               + (u >= bounds[:, 1]))
+                    current = np.where(continuing, stepped, current)
+            else:
+                bounds = self._cdf01[rows, current]
+                current = ((u >= bounds[:, 0]).astype(np.int64)
+                           + (u >= bounds[:, 1]))
+            states[:, slot] = current
+        return states, current
+
+    def block(self, start_slot: int, n_slots: int,
+              cloud_rngs: Sequence[np.random.Generator],
+              jitter_rngs: Sequence[np.random.Generator],
+              noise_rngs: Sequence[np.random.Generator],
+              cloud_state: np.ndarray, noise_level: np.ndarray
+              ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(B, n)`` renewable block plus updated carries.
+
+        Returns ``(series, cloud_state, noise_level)``; the carry
+        arrays are fresh (inputs are not mutated).
+        """
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        batch = self.batch
+        clear_sky = self._clear_sky_block(start_slot, n_slots)
+        states, cloud_carry = self._cloud_states_block(
+            n_slots, cloud_rngs, cloud_state)
+        attenuation = self._attenuation[
+            np.arange(batch)[:, None], states]
+        jitter = np.empty((batch, n_slots))
+        for index, rng in enumerate(jitter_rngs):
+            jitter[index] = np.clip(
+                1.0 + 0.10 * rng.standard_normal(n_slots), 0.0, None)
+        draws = np.empty((batch, n_slots))
+        for index, rng in enumerate(noise_rngs):
+            draws[index] = rng.standard_normal(n_slots)
+        levels = np.empty((batch, n_slots))
+        carry = np.asarray(noise_level, dtype=float)
+        rho, scale = self._rho, self._scale
+        for slot in range(n_slots):
+            carry = rho * carry + scale * draws[:, slot]
+            levels[:, slot] = carry
+        noise = np.maximum(0.0, 1.0 + levels)
+        series = clear_sky * attenuation * jitter * noise
+        series = np.clip(series, 0.0, self._cap_slot[:, None])
+        return series, cloud_carry, carry

@@ -1,0 +1,171 @@
+"""BatchTraceStream / TraceBlock: the vectorized fleet trace path."""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import paper_controller_config, paper_system_config
+from repro.core.smartdpss import SmartDPSS
+from repro.exceptions import TraceError
+from repro.fleet.engine import StreamingBatchSimulator, StreamRunSpec
+from repro.fleet.runner import FleetRunner
+from repro.fleet.spec import ScenarioSpec, grid_specs
+from repro.fleet.stream import (
+    ArrayTraceStream,
+    BatchTraceStream,
+    StreamingPaperTraces,
+)
+from repro.traces.base import SERIES_FIELDS, TraceBlock
+from repro.traces.solar import SolarModel
+
+pytestmark = pytest.mark.fleet
+
+
+def _streams(n_slots=96, batch=4, clip=None):
+    return [StreamingPaperTraces(n_slots, seed=seed, clip_p_grid=clip)
+            for seed in range(batch)]
+
+
+class TestBatchTraceStream:
+    def test_matches_per_scenario_cursors(self):
+        streams = _streams(batch=5, clip=1.5)
+        cursor = BatchTraceStream(streams).open()
+        references = [stream.open() for stream in streams]
+        for chunk in (17, 40, 39):
+            block = cursor.read(chunk)
+            windows = [ref.read(chunk) for ref in references]
+            for name in SERIES_FIELDS:
+                assert np.array_equal(
+                    getattr(block, name),
+                    np.stack([getattr(w, name) for w in windows])), name
+
+    def test_heterogeneous_models_stack(self):
+        streams = [StreamingPaperTraces(
+            48, seed=seed,
+            solar_model=SolarModel(capacity_mw=1.0 + seed))
+            for seed in range(3)]
+        block = BatchTraceStream(streams).open().read(48)
+        singles = [stream.open().read(48) for stream in streams]
+        for index, window in enumerate(singles):
+            assert np.array_equal(block.renewable[index],
+                                  window.renewable)
+
+    def test_for_streams_rejects_non_kernel_sources(self):
+        paper = _streams(batch=2)
+        array = ArrayTraceStream(paper[0].materialize())
+        assert BatchTraceStream.for_streams([paper[0], array]) is None
+        assert BatchTraceStream.for_streams([]) is None
+        assert BatchTraceStream.for_streams(paper) is not None
+
+    def test_read_past_end_raises(self):
+        cursor = BatchTraceStream(_streams(n_slots=24)).open()
+        cursor.read(20)
+        with pytest.raises(TraceError):
+            cursor.read(5)
+
+    def test_read_needs_positive_slots(self):
+        cursor = BatchTraceStream(_streams()).open()
+        with pytest.raises(ValueError):
+            cursor.read(0)
+
+    def test_clip_meta_counts_per_scenario(self):
+        streams = _streams(batch=3, clip=1.2)
+        block = BatchTraceStream(streams).open().read(96)
+        counts = block.meta["peak_clip_slots"]
+        assert counts.shape == (3,)
+        for index, stream in enumerate(streams):
+            window = stream.open().read(96)
+            assert counts[index] == window.meta["peak_clip_slots"]
+            scenario = block.scenario(index)
+            assert scenario.meta["peak_clip_slots"] \
+                == window.meta["peak_clip_slots"]
+            assert scenario.meta["seed"] == stream.seed
+
+
+class TestTraceBlock:
+    def _block(self, **overrides):
+        data = {name: np.ones((2, 6)) for name in SERIES_FIELDS}
+        data.update(overrides)
+        return TraceBlock(**data)
+
+    def test_shape_and_accessors(self):
+        block = self._block()
+        assert block.n_scenarios == 2
+        assert block.n_slots == 6
+        scenario = block.scenario(1)
+        assert scenario.n_slots == 6
+
+    def test_rejects_one_dimensional_series(self):
+        with pytest.raises(TraceError):
+            self._block(demand_ds=np.ones(6))
+
+    def test_rejects_negative_and_nonfinite(self):
+        bad = np.ones((2, 6))
+        bad[1, 3] = -0.5
+        with pytest.raises(TraceError):
+            self._block(renewable=bad)
+        bad = np.ones((2, 6))
+        bad[0, 0] = np.nan
+        with pytest.raises(TraceError):
+            self._block(price_rt=bad)
+
+    def test_coarse_prices_match_scenario_rows(self):
+        hourly = np.arange(12.0).reshape(2, 6) + 1.0
+        block = self._block(price_lt_hourly=hourly)
+        coarse = block.coarse_prices(3)
+        for index in range(2):
+            assert np.array_equal(
+                coarse[index], block.scenario(index).coarse_prices(3))
+        with pytest.raises(Exception):
+            block.coarse_prices(5)
+
+
+class TestEngineWiring:
+    def _runs(self, batch=3):
+        system = paper_system_config(days=2, fine_slots_per_coarse=6)
+        return [
+            StreamRunSpec(system=system,
+                          controller=SmartDPSS(paper_controller_config()),
+                          stream=StreamingPaperTraces(
+                              system.horizon_slots, seed=seed,
+                              clip_p_grid=system.p_grid))
+            for seed in range(batch)]
+
+    def test_batch_and_scalar_paths_identical(self):
+        batched = StreamingBatchSimulator(self._runs(),
+                                          chunk_coarse=2).run()
+        scalar = StreamingBatchSimulator(self._runs(), chunk_coarse=2,
+                                         batch_traces=False).run()
+        assert [m.as_dict() for m in batched] \
+            == [m.as_dict() for m in scalar]
+
+    def test_batch_source_detection(self):
+        engine = StreamingBatchSimulator(self._runs())
+        assert engine._batch_source is not None
+        engine = StreamingBatchSimulator(self._runs(),
+                                         batch_traces=False)
+        assert engine._batch_source is None
+
+    def test_array_stream_falls_back_to_cursors(self):
+        system = paper_system_config(days=1, fine_slots_per_coarse=6)
+        stream = StreamingPaperTraces(system.horizon_slots, seed=0,
+                                      clip_p_grid=system.p_grid)
+        runs = [StreamRunSpec(
+            system=system,
+            controller=SmartDPSS(paper_controller_config()),
+            stream=ArrayTraceStream(stream.materialize()))]
+        engine = StreamingBatchSimulator(runs)
+        assert engine._batch_source is None
+        assert len(engine.run()) == 1
+
+    def test_fleet_runner_batch_traces_knob(self):
+        template = ScenarioSpec(
+            system={"preset": "paper", "days": 1,
+                    "fine_slots_per_coarse": 6},
+            trace={"kind": "stream"})
+        specs = grid_specs(template, "controller.v", [0.5, 2.0],
+                           seeds=(0, 1))
+        fast = FleetRunner(specs, batch_size=4).run()
+        slow = FleetRunner(specs, batch_size=4,
+                           batch_traces=False).run()
+        assert fast == slow
+        assert all(record["engine"] == "stream" for record in fast)
