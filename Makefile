@@ -4,7 +4,7 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-fast test-equivalence bench-smoke bench-batch \
-	bench-fleet bench-traces benchmarks
+	bench-fleet bench-traces bench-plan benchmarks
 
 # Tier-1 verify: the full suite, fail-fast.
 test:
@@ -37,6 +37,11 @@ bench-fleet:
 # BENCH_traces.json.
 bench-traces:
 	$(PY) benchmarks/bench_traces.py
+
+# Planning boundary: scalar-loop planning vs the vectorized batch
+# planning layer, per stage and end-to-end; writes BENCH_plan.json.
+bench-plan:
+	$(PY) benchmarks/bench_plan.py
 
 # Figure-regeneration benchmarks (pytest-benchmark suite).
 benchmarks:

@@ -26,6 +26,15 @@ against simulations.
 Prices here are *normalized* controller units (see
 ``SmartDPSSConfig``-driven normalization in :mod:`repro.core.smartdpss`);
 pass the normalized price cap for consistent magnitudes.
+
+:func:`compute_bounds` is array-capable: ``v`` / ``epsilon`` /
+``price_cap`` / ``theta_max`` may each be a ``(B,)`` array, and
+``system`` may be a :class:`SystemArrays` bundle stacking ``B``
+physical systems.  Every constant is then evaluated elementwise with
+the exact arithmetic of the scalar call — the batch planning stage
+(:meth:`repro.core.smartdpss_vec.VecSmartDPSS.prepare_plan_batch`)
+relies on this to select paper-mode shift points for a whole batch in
+one pass, bit-identical to ``B`` scalar calls.
 """
 
 from __future__ import annotations
@@ -33,6 +42,9 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.config.system import SystemConfig
 
@@ -45,8 +57,53 @@ class BoundVariant(str, enum.Enum):
 
 
 @dataclass(frozen=True)
+class SystemArrays:
+    """Array-valued stand-in for :class:`SystemConfig` field access.
+
+    Carries exactly the physical fields :func:`compute_bounds` reads,
+    each as a ``(B,)`` array (or scalar), so one call evaluates the
+    theorem constants for ``B`` systems at once.  Build with
+    :meth:`stack`.
+    """
+
+    fine_slots_per_coarse: object
+    s_dt_max: object
+    d_dt_max: object
+    b_max: object
+    b_min: object
+    b_charge_max: object
+    b_discharge_max: object
+    eta_c: object
+    eta_d: object
+
+    @classmethod
+    def stack(cls, systems: Sequence[SystemConfig]) -> "SystemArrays":
+        """Stack the bound-relevant fields of many systems."""
+
+        def pull(name: str) -> np.ndarray:
+            return np.array([float(getattr(s, name)) for s in systems])
+
+        return cls(
+            fine_slots_per_coarse=pull("fine_slots_per_coarse"),
+            s_dt_max=pull("s_dt_max"),
+            d_dt_max=pull("d_dt_max"),
+            b_max=pull("b_max"),
+            b_min=pull("b_min"),
+            b_charge_max=pull("b_charge_max"),
+            b_discharge_max=pull("b_discharge_max"),
+            eta_c=pull("eta_c"),
+            eta_d=pull("eta_d"),
+        )
+
+
+@dataclass(frozen=True)
 class TheoreticalBounds:
-    """All constants from Theorems 1-3 for one configuration."""
+    """All constants from Theorems 1-3 for one configuration.
+
+    With array inputs every field is a ``(B,)`` array (``lambda_max``
+    integer-valued) and :attr:`theory_applies` reports whether the
+    precondition can hold for *every* scenario in the batch.
+    """
 
     h1: float
     h2: float
@@ -66,16 +123,17 @@ class TheoreticalBounds:
         The paper's own evaluation battery violates it (the safety
         margins exceed ``Bmax``); experiments then rely on the
         engine's physical clamps instead of the Lyapunov battery
-        argument.
+        argument.  For array-valued bounds this is True only when the
+        precondition can hold for every scenario.
         """
-        return self.v_max > 0
+        return bool(np.all(np.asarray(self.v_max) > 0))
 
 
-def compute_bounds(system: SystemConfig,
-                   v: float,
-                   epsilon: float,
-                   price_cap: float,
-                   theta_max: float = 0.0,
+def compute_bounds(system: SystemConfig | SystemArrays,
+                   v,
+                   epsilon,
+                   price_cap,
+                   theta_max=0.0,
                    variant: BoundVariant = BoundVariant.IMPLEMENTATION,
                    ) -> TheoreticalBounds:
     """Evaluate every theorem constant for one configuration.
@@ -83,23 +141,28 @@ def compute_bounds(system: SystemConfig,
     Parameters
     ----------
     system:
-        Physical system (battery caps, demand caps, ``T``).
+        Physical system (battery caps, demand caps, ``T``), or a
+        :class:`SystemArrays` bundle of ``B`` systems.
     v / epsilon:
-        Controller parameters.
+        Controller parameters (scalars or ``(B,)`` arrays).
     price_cap:
         ``Pmax`` in the controller's (normalized) price units.
     theta_max:
         Queue-estimation error bound of Theorem 3 (0 → ``H3 = H2``).
     variant:
         Paper-literal or implementation-consistent (see module doc).
+
+    Scalar and array calls share every arithmetic expression, so the
+    array form is elementwise bit-identical to per-scenario scalar
+    calls (the batch planning stage depends on this for ``u_max``).
     """
-    if v <= 0:
+    if np.any(np.asarray(v) <= 0):
         raise ValueError(f"V must be > 0, got {v}")
-    if epsilon <= 0:
+    if np.any(np.asarray(epsilon) <= 0):
         raise ValueError(f"epsilon must be > 0, got {epsilon}")
-    if price_cap <= 0:
+    if np.any(np.asarray(price_cap) <= 0):
         raise ValueError(f"price cap must be > 0, got {price_cap}")
-    if theta_max < 0:
+    if np.any(np.asarray(theta_max) < 0):
         raise ValueError(f"theta_max must be >= 0, got {theta_max}")
 
     t_slots = system.fine_slots_per_coarse
@@ -136,9 +199,15 @@ def compute_bounds(system: SystemConfig,
     q_max = threshold + q_growth
     y_max = threshold + y_growth
     u_max = threshold + q_growth + y_growth
-    lambda_max = math.ceil((2.0 * threshold + q_growth + y_growth)
-                           / epsilon)
-    cost_gap = (h3 if theta_max > 0 else h2) / v
+    lambda_raw = (2.0 * threshold + q_growth + y_growth) / epsilon
+    if isinstance(lambda_raw, np.ndarray):
+        lambda_max = np.ceil(lambda_raw).astype(np.int64)
+    else:
+        lambda_max = math.ceil(lambda_raw)
+    if isinstance(theta_max, np.ndarray):
+        cost_gap = np.where(theta_max > 0, h3, h2) / v
+    else:
+        cost_gap = (h3 if theta_max > 0 else h2) / v
 
     return TheoreticalBounds(h1=h1, h2=h2, h3=h3, v_max=v_max,
                              q_max=q_max, y_max=y_max, u_max=u_max,

@@ -27,6 +27,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config.system import SystemConfig
 
 
@@ -61,6 +63,70 @@ class CoarseObservation:
     def demand_total(self) -> float:
         """Observed aggregate demand ``d(t)``."""
         return self.demand_ds + self.demand_dt
+
+
+@dataclass(frozen=True)
+class BatchCoarseObservation:
+    """Array form of :class:`CoarseObservation` for ``B`` scenarios.
+
+    Scalar fields become ``(B,)`` float arrays and the ``profile_*``
+    tuples become ``(B, W)`` blocks (``W`` the lookback-window width —
+    ``T`` everywhere except the very first boundary, which only has
+    the boundary slot itself).  ``cycle_budget_left`` uses ``+inf``
+    for the scalar protocol's ``None`` (unconstrained), matching the
+    fine-slot batch convention.
+
+    The mean fields (``demand_ds`` / ``demand_dt`` / ``renewable``)
+    are the per-fine-slot window averages, accumulated column-by-
+    column in slot order so they are bit-identical to the scalar
+    engine's ``sum(profile)/len(profile)``.  :meth:`scalar` recovers
+    the exact per-scenario :class:`CoarseObservation`, which is what
+    keeps scalar controllers inside the batch engine on the reference
+    observation path.
+    """
+
+    coarse_index: int
+    fine_slot: int
+    price_lt: np.ndarray
+    demand_ds: np.ndarray
+    demand_dt: np.ndarray
+    renewable: np.ndarray
+    battery_level: np.ndarray
+    backlog: np.ndarray
+    cycle_budget_left: np.ndarray
+    profile_demand_ds: np.ndarray
+    profile_demand_dt: np.ndarray
+    profile_renewable: np.ndarray
+    profile_price_rt: np.ndarray
+
+    @property
+    def batch(self) -> int:
+        """Number of scenarios ``B``."""
+        return self.price_lt.shape[0]
+
+    def scalar(self, index: int) -> CoarseObservation:
+        """The exact scalar observation of one scenario."""
+        budget = float(self.cycle_budget_left[index])
+        return CoarseObservation(
+            coarse_index=self.coarse_index,
+            fine_slot=self.fine_slot,
+            price_lt=float(self.price_lt[index]),
+            demand_ds=float(self.demand_ds[index]),
+            demand_dt=float(self.demand_dt[index]),
+            renewable=float(self.renewable[index]),
+            battery_level=float(self.battery_level[index]),
+            backlog=float(self.backlog[index]),
+            cycle_budget_left=(None if np.isinf(budget)
+                               else int(budget)),
+            profile_demand_ds=tuple(
+                self.profile_demand_ds[index].tolist()),
+            profile_demand_dt=tuple(
+                self.profile_demand_dt[index].tolist()),
+            profile_renewable=tuple(
+                self.profile_renewable[index].tolist()),
+            profile_price_rt=tuple(
+                self.profile_price_rt[index].tolist()),
+        )
 
 
 @dataclass(frozen=True)

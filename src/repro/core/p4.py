@@ -165,42 +165,57 @@ class _StackedWindows(NamedTuple):
     floors: np.ndarray
 
 
+def _window_length(state: P4State) -> int:
+    """``len(state.net_profile)`` without materializing the tuple."""
+    if state.profile_demand_ds and state.profile_renewable:
+        return len(state.profile_demand_ds)
+    return 1
+
+
 def _stack_windows(states: Sequence[P4State]) -> _StackedWindows:
-    n = len(states[0].net_profile)
+    n = _window_length(states[0])
     count = len(states)
     nets = np.empty((count, n))
     prices = np.empty((count, n))
     for index, state in enumerate(states):
-        nets[index] = state.net_profile
+        # The row is ``net_profile`` computed in array form: same
+        # elementwise IEEE-754 subtraction, no per-element Python.
+        if state.profile_demand_ds and state.profile_renewable:
+            np.subtract(state.profile_demand_ds,
+                        state.profile_renewable, out=nets[index])
+        else:
+            nets[index] = state.demand_ds - state.renewable
         if len(state.profile_price_rt) == n:
             prices[index] = state.profile_price_rt
         else:
             prices[index] = state.price_lt
 
-    def pull(get) -> np.ndarray:
-        return np.array([get(state) for state in states])
-
-    t_slots = pull(lambda s: float(s.t_slots))
-    scale = t_slots / n
+    # One pass over the states gathers every scalar field (the values
+    # are identical to ten separate per-field pulls, just batched).
+    scalars = np.array([
+        (float(s.t_slots), s.v, s.price_lt, s.p_grid, s.q_hat, s.y_hat,
+         -s.x_hat * s.eta_c, s.charge_headroom_total, s.waste_penalty,
+         _deferrable_pool(s, s.t_slots / n),
+         min(_floor_rate(s), s.p_grid))
+        for s in states])
+    t_slots = scalars[:, 0]
     return _StackedWindows(
         count=count,
         n=n,
         nets=nets,
         prices=prices,
-        scale=scale,
+        scale=t_slots / n,
         t_slots=t_slots,
-        v=pull(lambda s: s.v),
-        price_lt=pull(lambda s: s.price_lt),
-        p_grid=pull(lambda s: s.p_grid),
-        q_hat=pull(lambda s: s.q_hat),
-        y_hat=pull(lambda s: s.y_hat),
-        battery_value=pull(lambda s: -s.x_hat * s.eta_c),
-        headroom_total=pull(lambda s: s.charge_headroom_total),
-        waste_penalty=pull(lambda s: s.waste_penalty),
-        pools=np.array([
-            _deferrable_pool(state, state.t_slots / n)
-            for state in states]),
-        floors=pull(lambda s: min(_floor_rate(s), s.p_grid)),
+        v=scalars[:, 1],
+        price_lt=scalars[:, 2],
+        p_grid=scalars[:, 3],
+        q_hat=scalars[:, 4],
+        y_hat=scalars[:, 5],
+        battery_value=scalars[:, 6],
+        headroom_total=scalars[:, 7],
+        waste_penalty=scalars[:, 8],
+        pools=scalars[:, 9],
+        floors=scalars[:, 10],
     )
 
 
@@ -419,7 +434,7 @@ def solve_p4_many(states: Sequence[P4State],
         return [solve_p4(state, mode) for state in states]
     groups: dict[int, list[int]] = {}
     for index, state in enumerate(states):
-        groups.setdefault(len(state.net_profile), []).append(index)
+        groups.setdefault(_window_length(state), []).append(index)
     solutions: list[P4Solution | None] = [None] * len(states)
     for indices in groups.values():
         solved = _solve_derived([states[i] for i in indices])

@@ -66,6 +66,27 @@ class _RunningMean:
         self._sum = 0.0
         self._count = 0
 
+    def state(self) -> dict:
+        """Exact snapshot — including the ``initial`` seed.
+
+        The seed is part of the state on purpose: before any
+        observation ``value`` *is* the seed, so restoring sum/count
+        without it would silently change the mean (the bug the
+        explicit state API exists to prevent).
+        """
+        return {"sum": self._sum, "count": self._count,
+                "initial": self._initial}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state` snapshot exactly (seed included)."""
+        count = int(state["count"])
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._sum = float(state["sum"])
+        self._count = count
+        self._initial = None if state["initial"] is None \
+            else float(state["initial"])
+
 
 class SmartDPSS(Controller):
     """The paper's online two-timescale Lyapunov controller."""

@@ -2,8 +2,8 @@
 
 :class:`VecSmartDPSS` drives ``B`` independent SmartDPSS controllers in
 lockstep for the batch simulation engine
-(:mod:`repro.sim.batch`).  The split follows the algorithm's own
-two-timescale structure:
+(:mod:`repro.sim.batch`).  Both halves of the algorithm's two-timescale
+structure now run in array form:
 
 * **Real-time balancing (every fine slot — the hot path)** runs fully
   vectorized: price normalization, the streaming price mean, battery
@@ -11,23 +11,34 @@ two-timescale structure:
   (:func:`repro.core.p5_vec.solve_p5_batch`) all advance as ``(B,)``
   arrays with no per-scenario Python dispatch.
 
-* **Long-term planning (once per coarse slot)** runs through ``B``
-  genuine scalar :class:`~repro.core.smartdpss.SmartDPSS` instances:
-  the vectorized state (virtual queues, price mean) is written into
-  each instance, ``prepare_plan`` runs unchanged (weight freezing,
-  shift-point selection, bound computation — every branch of the
-  scalar code), and the frozen Lyapunov weights are read back into
-  arrays.  The P4 *solves* — the expensive part of planning — are
-  then pooled into one :func:`~repro.core.p4.solve_p4_many` tensor
-  pass, whose single-scenario case is exactly ``solve_p4``; there is
-  no second P4 implementation to drift.
+* **Long-term planning (once per coarse slot)** runs through
+  :meth:`VecSmartDPSS.prepare_plan_batch` — the array twin of ``B``
+  scalar :meth:`~repro.core.smartdpss.SmartDPSS.prepare_plan` calls.
+  Price normalization, the first-boundary ``_RunningMean`` seeding
+  rule, shift-point selection (``paper``/``operational`` modes mixed
+  freely in one batch, via the array-capable
+  :func:`~repro.core.bounds.compute_bounds`), weight freezing and the
+  battery feasibility terms are all ``(B,)`` array expressions;
+  per-scenario Python only assembles the
+  :class:`~repro.core.p4.P4State` records fed to the
+  :func:`~repro.core.p4.solve_p4_many` tensor pass (still the only P4
+  solver, whose single-scenario case is exactly ``solve_p4``).
+
+The scalar instances remain the *reference*: ``batch_planning=False``
+routes planning through genuine per-scenario ``prepare_plan`` calls
+(state synced through the queues' explicit ``state()`` /
+``load_state()`` APIs — no private-attribute surgery), and
+:meth:`finalize` rebuilds every instance's post-run state from the
+arrays so introspection (virtual-queue peaks, frozen weights, price
+mean) matches a scalar run exactly whichever path planned.
 
 Exactness contract: a batch of ``B`` scenarios produces bit-identical
 decisions to ``B`` scalar ``SmartDPSS`` runs (enforced by
 ``tests/equivalence/``).  Scenario configs may differ in any numeric
 parameter (``V``, ``ε``, price scale, margin) and in per-scenario
-flags handled at planning time; only ``objective_mode`` must agree
-across the batch because it selects the vectorized P5 objective.
+planning flags (``use_long_term_market``, ``use_battery``, shift
+mode); only ``objective_mode`` must agree across the batch because it
+selects the vectorized P5 objective.
 """
 
 from __future__ import annotations
@@ -37,12 +48,18 @@ from typing import Sequence
 import numpy as np
 
 from repro.config.control import SmartDPSSConfig
-from repro.config.system import SystemConfig
-from repro.core.interfaces import CoarseObservation
-from repro.core.p4 import solve_p4_many
+from repro.core.bounds import BoundVariant, SystemArrays, compute_bounds
+from repro.core.interfaces import BatchCoarseObservation
+from repro.core.p4 import P4State, solve_p4_many
 from repro.core.p5_vec import BatchSlotState, solve_p5_batch
 from repro.core.smartdpss import SmartDPSS
+from repro.core.virtual_queues import operational_shift, paper_shift
 from repro.exceptions import ConfigurationError
+from repro.config.system import SystemConfig
+
+#: Default planning path for new instances.  The benchmark flips this
+#: to time the scalar-loop reference against the batch path end to end.
+BATCH_PLANNING_DEFAULT = True
 
 
 class VecSmartDPSS:
@@ -52,15 +69,25 @@ class VecSmartDPSS:
     ----------
     controllers:
         One scalar :class:`SmartDPSS` per scenario.  The instances are
-        real — they hold the per-scenario planning state and remain
-        inspectable (frozen weights, virtual queues) after a run —
-        but their per-slot path is bypassed by the vectorized P5.
+        real — :meth:`finalize` rebuilds their per-scenario planning
+        state so they remain inspectable (frozen weights, virtual
+        queues) after a run — but both their per-slot and planning
+        paths are bypassed by the vectorized twins.
+    batch_planning:
+        ``True`` (default) plans every coarse boundary through
+        :meth:`prepare_plan_batch`; ``False`` loops the scalar
+        instances' ``prepare_plan`` — the bit-identical equivalence
+        reference.
     """
 
-    def __init__(self, controllers: Sequence[SmartDPSS]):
+    def __init__(self, controllers: Sequence[SmartDPSS], *,
+                 batch_planning: bool | None = None):
         if not controllers:
             raise ValueError("need at least one controller")
         self.controllers = list(controllers)
+        self.batch_planning = (BATCH_PLANNING_DEFAULT
+                               if batch_planning is None
+                               else bool(batch_planning))
         modes = {c.config.objective_mode for c in self.controllers}
         if len(modes) > 1:
             raise ConfigurationError(
@@ -101,6 +128,12 @@ class VecSmartDPSS:
         self._price_scale = pull(lambda i: configs[i].price_scale)
         self._use_battery = np.array(
             [bool(configs[i].use_battery) for i in range(n)])
+        self._use_lt = np.array(
+            [bool(configs[i].use_long_term_market) for i in range(n)])
+        self._shift_paper = np.array(
+            [configs[i].battery_shift_mode == "paper" for i in range(n)])
+        self._plan_deferrable = [
+            bool(configs[i].plan_deferrable_arrivals) for i in range(n)]
         # Normalized controller-unit prices, as the scalar code computes
         # them per observation (here hoisted: the factors are constant).
         self._margin_n = pull(
@@ -110,6 +143,8 @@ class VecSmartDPSS:
             lambda i: systems[i].battery_op_cost / configs[i].price_scale)
         self._waste_n = pull(
             lambda i: systems[i].waste_penalty / configs[i].price_scale)
+        self._cap_n = pull(
+            lambda i: systems[i].p_max / configs[i].price_scale)
         self._b_max = pull(lambda i: systems[i].b_max)
         self._b_min = pull(lambda i: systems[i].b_min)
         self._b_charge_max = pull(lambda i: systems[i].b_charge_max)
@@ -117,12 +152,18 @@ class VecSmartDPSS:
         self._eta_c = pull(lambda i: systems[i].eta_c)
         self._eta_d = pull(lambda i: systems[i].eta_d)
         self._s_dt_max = pull(lambda i: systems[i].s_dt_max)
+        self._p_grid = pull(lambda i: systems[i].p_grid)
+        self._t_arr = pull(lambda i: systems[i].fine_slots_per_coarse)
+        self._t_list = [int(s.fine_slots_per_coarse) for s in systems]
+        self._bounds_system = SystemArrays.stack(systems)
 
         # Vectorized live state (mirrors the scalar instances').
         self._y = np.zeros(n)
         self._y_peak = np.zeros(n)
         self._rt_sum = np.zeros(n)
         self._rt_count = 0
+        self._rt_initial = np.zeros(n)
+        self._rt_seeded = False
         self._q_hat = np.zeros(n)
         self._y_hat = np.zeros(n)
         self._x_hat = np.zeros(n)
@@ -130,60 +171,217 @@ class VecSmartDPSS:
         self._x_value = np.zeros(n)
         self._x_min = np.full(n, np.inf)
         self._x_max = np.full(n, -np.inf)
-        self._x_seen = False
+        self._x_observed = False
+        self._planned_rate = np.zeros(n)
 
-    # -- planning (per coarse slot; delegates to the scalar instances) --
+    # -- planning (per coarse slot) ------------------------------------
+
+    def _mean_value(self) -> np.ndarray:
+        """Vector twin of ``_RunningMean.value`` for every scenario."""
+        if self._rt_count == 0:
+            if self._rt_seeded:
+                return self._rt_initial
+            return np.zeros(self._n)
+        return self._rt_sum / self._rt_count
+
+    def prepare_plan_batch(self, obs: BatchCoarseObservation
+                           ) -> tuple[list[P4State], list[int]]:
+        """Array twin of ``B`` scalar ``prepare_plan`` calls.
+
+        Freezes the interval weights, selects shift points for both
+        shift modes in one pass, applies the first-boundary
+        ``_RunningMean`` seeding rule, and assembles the P4 subproblems
+        for the scenarios whose long-term market is enabled.  Returns
+        ``(states, indices)`` ready for
+        :func:`~repro.core.p4.solve_p4_many`; every array expression
+        mirrors the scalar code elementwise, so the frozen weights and
+        P4 inputs are bit-identical to the per-scenario path.
+        """
+        price_lt = obs.price_lt / self._price_scale
+        if self._rt_count == 0:
+            # Before any real-time observation, seed the reference with
+            # the first contract price (no a-priori statistics needed).
+            self._rt_initial = np.array(price_lt, dtype=float)
+            self._rt_seeded = True
+
+        # Shift-point selection, both modes evaluated as arrays.
+        shift = operational_shift(self._b_min, self._b_max, self._v,
+                                  self._mean_value())
+        if self._shift_paper.any():
+            bounds = compute_bounds(self._bounds_system, self._v,
+                                    self._epsilon, self._cap_n,
+                                    variant=BoundVariant.PAPER)
+            shift = np.where(
+                self._shift_paper,
+                paper_shift(bounds.u_max, self._b_min,
+                            self._b_discharge_max, self._eta_d),
+                shift)
+
+        # Freeze the Lyapunov weights for the coming interval.
+        self._shift = shift
+        self._q_hat = np.array(obs.backlog, dtype=float)
+        self._y_hat = self._y.copy()
+        x_value = obs.battery_level - shift
+        self._x_value = x_value
+        self._x_min = np.minimum(self._x_min, x_value)
+        self._x_max = np.maximum(self._x_max, x_value)
+        self._x_observed = True
+        self._x_hat = x_value
+
+        battery_usable = self._use_battery & (obs.cycle_budget_left != 0)
+        # The battery's stored energy can be spent once over the
+        # window, not once per slot: spread it over T slots so the
+        # feasibility floor stays honest for small batteries.
+        usable_energy = np.maximum(
+            0.0, obs.battery_level - self._b_min) / self._eta_d
+        discharge_avail = np.where(
+            battery_usable,
+            np.minimum(self._b_discharge_max,
+                       usable_energy / self._t_arr), 0.0)
+        charge_headroom = np.where(
+            battery_usable,
+            np.maximum(0.0, self._b_max - obs.battery_level)
+            / self._eta_c, 0.0)
+
+        # Scenarios without the long-term market plan a zero purchase.
+        np.copyto(self._planned_rate, 0.0, where=~self._use_lt)
+        pending = np.nonzero(self._use_lt)[0]
+        if pending.size == 0:
+            return [], []
+
+        # P4State assembly for the pending scenarios only: one C-level
+        # slice + .tolist() pass per field, then plain-Python record
+        # building (normalization on the sliced rows is the identical
+        # elementwise operation, so bit-identity is unaffected).
+        rows_ds = obs.profile_demand_ds[pending].tolist()
+        rows_dt = obs.profile_demand_dt[pending].tolist()
+        rows_r = obs.profile_renewable[pending].tolist()
+        rows_p = (obs.profile_price_rt[pending]
+                  / self._price_scale[pending][:, None]).tolist()
+        v = self._v[pending].tolist()
+        plt = price_lt[pending].tolist()
+        q_hat = self._q_hat[pending].tolist()
+        y_hat = self._y_hat[pending].tolist()
+        x_hat = self._x_hat[pending].tolist()
+        mean_ds = obs.demand_ds[pending].tolist()
+        mean_r = obs.renewable[pending].tolist()
+        level = obs.battery_level[pending].tolist()
+        p_grid = self._p_grid[pending].tolist()
+        avail = discharge_avail[pending].tolist()
+        headroom = charge_headroom[pending].tolist()
+        eta_c = self._eta_c[pending].tolist()
+        s_dt_max = self._s_dt_max[pending].tolist()
+        waste = self._waste_n[pending].tolist()
+
+        states = []
+        for row, i in enumerate(pending.tolist()):
+            states.append(P4State(
+                v=v[row],
+                price_lt=plt[row],
+                q_hat=q_hat[row],
+                y_hat=y_hat[row],
+                x_hat=x_hat[row],
+                t_slots=self._t_list[i],
+                demand_ds=mean_ds[row],
+                renewable=mean_r[row],
+                battery_level=level[row],
+                p_grid=p_grid[row],
+                discharge_avail=avail[row],
+                charge_headroom_total=headroom[row],
+                eta_c=eta_c[row],
+                s_dt_max=s_dt_max[row],
+                waste_penalty=waste[row],
+                profile_demand_ds=tuple(rows_ds[row]),
+                profile_demand_dt=tuple(rows_dt[row]),
+                profile_renewable=tuple(rows_r[row]),
+                profile_price_rt=tuple(rows_p[row]),
+                plan_deferrable_arrivals=self._plan_deferrable[i],
+            ))
+        return states, pending.tolist()
+
+    def _mean_state(self, index: int) -> dict:
+        """One scenario's ``_RunningMean`` state, seed included."""
+        return {"sum": float(self._rt_sum[index]),
+                "count": self._rt_count,
+                "initial": (float(self._rt_initial[index])
+                            if self._rt_seeded else None)}
 
     def _sync_into(self, index: int, controller: SmartDPSS) -> None:
-        """Write the vectorized live state into one scalar instance."""
-        mean = controller._rt_price_mean
-        mean._sum = float(self._rt_sum[index])
-        mean._count = self._rt_count
-        controller._y_queue._value = float(self._y[index])
-        controller._y_queue._peak = float(self._y_peak[index])
-        x_queue = controller._x_queue
-        x_queue.shift = float(self._shift[index])
-        if self._x_seen:
-            x_queue._value = float(self._x_value[index])
-            x_queue._min_seen = float(self._x_min[index])
-            x_queue._max_seen = float(self._x_max[index])
+        """Load the vectorized live state into one scalar instance.
+
+        Routed through the explicit ``load_state`` APIs so every field
+        — including the price mean's ``initial`` seed and the battery
+        queue's never-observed condition — is restored by contract,
+        not by poking attributes on whatever object happens to be
+        installed.
+        """
+        controller._rt_price_mean.load_state(self._mean_state(index))
+        controller._y_queue.load_state({
+            "value": float(self._y[index]),
+            "peak": float(self._y_peak[index])})
+        if self._x_observed:
+            controller._x_queue.load_state({
+                "shift": float(self._shift[index]),
+                "value": float(self._x_value[index]),
+                "min_seen": float(self._x_min[index]),
+                "max_seen": float(self._x_max[index])})
+        else:
+            controller._x_queue.load_state({
+                "shift": float(self._shift[index]),
+                "value": None, "min_seen": None, "max_seen": None})
 
     def _sync_from(self, index: int, controller: SmartDPSS) -> None:
         """Read one scalar instance's post-plan state back into arrays."""
         self._q_hat[index], self._y_hat[index], self._x_hat[index] = \
             controller.frozen_weights
-        x_queue = controller._x_queue
-        self._shift[index] = x_queue.shift
-        self._x_value[index] = x_queue._value
-        self._x_min[index] = x_queue._min_seen
-        self._x_max[index] = x_queue._max_seen
+        mean = controller._rt_price_mean.state()
+        self._rt_sum[index] = mean["sum"]
+        if mean["initial"] is not None:
+            self._rt_initial[index] = mean["initial"]
+            self._rt_seeded = True
+        x_state = controller._x_queue.state()
+        self._shift[index] = x_state["shift"]
+        self._x_value[index] = x_state["value"]
+        self._x_min[index] = x_state["min_seen"]
+        self._x_max[index] = x_state["max_seen"]
+        self._planned_rate[index] = controller._planned_rate
 
-    def plan_long_term(self, observations: Sequence[CoarseObservation]
-                       ) -> np.ndarray:
-        """Plan every scenario's advance purchase ``gbef(t)``.
-
-        Per-scenario preparation (weight freezing, shift selection,
-        P4 subproblem construction) runs through the scalar instances;
-        the P4 solves themselves — the expensive part — are pooled
-        into one :func:`~repro.core.p4.solve_p4_many` tensor pass.
-        """
-        gbef = np.zeros(self._n)
-        states = []
-        pending = []
-        for index, (controller, obs) in enumerate(
-                zip(self.controllers, observations)):
+    def _prepare_plan_loop(self, obs: BatchCoarseObservation
+                           ) -> tuple[list[P4State], list[int]]:
+        """Reference path: per-scenario scalar ``prepare_plan`` calls."""
+        states: list[P4State] = []
+        pending: list[int] = []
+        for index, controller in enumerate(self.controllers):
             self._sync_into(index, controller)
-            state = controller.prepare_plan(obs)
+            state = controller.prepare_plan(obs.scalar(index))
             self._sync_from(index, controller)
             if state is not None:
                 states.append(state)
                 pending.append(index)
-        self._x_seen = True
+        # Flip only after the loop: scenarios later in the batch must
+        # still load the never-observed condition at the first boundary.
+        self._x_observed = True
+        return states, pending
+
+    def plan_long_term(self, obs: BatchCoarseObservation) -> np.ndarray:
+        """Plan every scenario's advance purchase ``gbef(t)``.
+
+        Preparation (weight freezing, shift selection, P4 subproblem
+        construction) runs through :meth:`prepare_plan_batch` (or the
+        scalar-instance loop when ``batch_planning`` is off); the P4
+        solves themselves — the expensive part — are pooled into one
+        :func:`~repro.core.p4.solve_p4_many` tensor pass either way.
+        """
+        if self.batch_planning:
+            states, pending = self.prepare_plan_batch(obs)
+        else:
+            states, pending = self._prepare_plan_loop(obs)
+        gbef = np.zeros(self._n)
         if states:
             solutions = solve_p4_many(states, self.mode)
             for index, solution in zip(pending, solutions):
-                gbef[index] = float(
-                    self.controllers[index].commit_plan(solution))
+                self._planned_rate[index] = solution.rate
+                gbef[index] = solution.gbef
         return gbef
 
     # -- real-time balancing (per fine slot; fully vectorized) ---------
@@ -237,12 +435,19 @@ class VecSmartDPSS:
         self._x_value = feedback.battery_level - self._shift
         self._x_min = np.minimum(self._x_min, self._x_value)
         self._x_max = np.maximum(self._x_max, self._x_value)
+        self._x_observed = True
 
     def finalize(self) -> None:
-        """Write the final vectorized state back into the instances.
+        """Rebuild every scalar instance's state from the arrays.
 
         Called once at the end of a batch run so post-run introspection
-        (virtual queue peaks, price means) matches a scalar run.
+        — virtual-queue values/peaks/extremes, the price mean (seed
+        included), the frozen weights and the last planned rate —
+        matches a scalar run exactly.
         """
         for index, controller in enumerate(self.controllers):
             self._sync_into(index, controller)
+            controller._q_hat = float(self._q_hat[index])
+            controller._y_hat = float(self._y_hat[index])
+            controller._x_hat = float(self._x_hat[index])
+            controller._planned_rate = float(self._planned_rate[index])

@@ -21,7 +21,13 @@ Chunks must cover whole coarse slots (``chunk_coarse`` many), because
 long-term prices are per-coarse-slot averages and planning happens at
 coarse boundaries.  Each loaded chunk keeps a ``T``-slot tail of its
 predecessor so the planner's previous-window profile lookback stays
-resident.
+resident: planning consumes one
+:class:`~repro.core.interfaces.BatchCoarseObservation` per boundary,
+sliced straight out of the resident window by
+``BatchSimulator._coarse_observations``, which raises
+:class:`~repro.exceptions.HorizonMismatchError` if a chunk ever
+arrives without the tail (a silent negative-index wrap would read the
+wrong profile otherwise).
 
 Trace chunks load through one of two bit-identical paths: a
 :class:`~repro.fleet.stream.BatchTraceStream` cursor (default when all

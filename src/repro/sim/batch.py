@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.config.system import SystemConfig
 from repro.core.interfaces import (
-    CoarseObservation,
+    BatchCoarseObservation,
     Controller,
     FineObservation,
     SlotFeedback,
@@ -122,7 +122,7 @@ class BatchController(Protocol):
 
     def begin_horizon(self, systems: Sequence[SystemConfig]) -> None: ...
 
-    def plan_long_term(self, observations: Sequence[CoarseObservation]
+    def plan_long_term(self, obs: BatchCoarseObservation
                        ) -> np.ndarray: ...
 
     def real_time(self, obs: BatchFineObservation
@@ -154,11 +154,10 @@ class ScalarControllerBatch:
         for controller, system in zip(self.controllers, systems):
             controller.begin_horizon(system)
 
-    def plan_long_term(self, observations: Sequence[CoarseObservation]
-                       ) -> np.ndarray:
+    def plan_long_term(self, obs: BatchCoarseObservation) -> np.ndarray:
         return np.array([
-            float(controller.plan_long_term(obs))
-            for controller, obs in zip(self.controllers, observations)])
+            float(controller.plan_long_term(obs.scalar(index)))
+            for index, controller in enumerate(self.controllers)])
 
     @staticmethod
     def _budget_left(value: float) -> int | None:
@@ -397,17 +396,14 @@ class BatchSimulator:
     def _advance_slot(self, slot: int, state: _RunState) -> None:
         """One fine slot for the whole batch: plan, decide, step."""
         t_slots = self._t_slots
-        batch = self._batch
         battery, backlog, cycles = state.battery, state.backlog, state.cycles
         coarse = slot // t_slots
 
         if slot % t_slots == 0:
-            observations = [self._coarse_observation(b, coarse, slot,
-                                                     battery, backlog,
-                                                     cycles)
-                            for b in range(batch)]
             gbef = np.asarray(
-                self.controller.plan_long_term(observations),
+                self.controller.plan_long_term(
+                    self._coarse_observations(coarse, slot, battery,
+                                              backlog, cycles)),
                 dtype=float)
             state.block = np.minimum(np.maximum(0.0, gbef),
                                      self._p_grid * t_slots)
@@ -462,28 +458,60 @@ class BatchSimulator:
     # Stages
     # ------------------------------------------------------------------
 
-    def _coarse_observation(self, index: int, coarse: int, slot: int,
-                            battery: VecBattery, backlog: VecBacklog,
-                            cycles: VecCycleLedger) -> CoarseObservation:
-        """Per-scenario twin of ``Simulator._plan``'s observation."""
+    @staticmethod
+    def _window_mean(block: np.ndarray) -> np.ndarray:
+        """Column-sequential window means, one per scenario.
+
+        Accumulates in slot order so every scenario's mean applies the
+        exact IEEE-754 additions of the scalar engine's
+        ``sum(profile) / len(profile)``.
+        """
+        total = np.zeros(block.shape[0])
+        for column in range(block.shape[1]):
+            total += block[:, column]
+        return total / block.shape[1]
+
+    def _coarse_observations(self, coarse: int, slot: int,
+                             battery: VecBattery, backlog: VecBacklog,
+                             cycles: VecCycleLedger
+                             ) -> BatchCoarseObservation:
+        """Batch twin of ``Simulator._plan``'s observation, one slice.
+
+        The planner's lookback window is the previous coarse window
+        (the boundary slot itself at the very first boundary).  Past
+        the first window the ``T``-slot tail *must* be resident: the
+        streaming engine prepends it to every chunk, and a window that
+        arrives without it would make ``local - t_slots`` negative —
+        silently wrapping the slice to the wrong profile — so that
+        condition raises instead.
+        """
         t_slots = self._t_slots
         local = slot - self._slot0
-        window = (slice(local - t_slots, local) if slot >= t_slots
-                  else slice(local, local + 1))
-        profile_ds = tuple(self._obs_dds[index, window].tolist())
-        profile_dt = tuple(self._obs_ddt[index, window].tolist())
-        profile_r = tuple(self._obs_ren[index, window].tolist())
-        profile_p = tuple(self._obs_prt[index, window].tolist())
-        return CoarseObservation(
+        if slot >= t_slots:
+            if local < t_slots:
+                raise HorizonMismatchError(
+                    f"planning at slot {slot} needs a {t_slots}-slot "
+                    f"lookback but the resident trace window starts at "
+                    f"slot {self._slot0} (only {local} slots of "
+                    f"history); the chunk loader must carry the "
+                    f"T-slot planning tail")
+            window = slice(local - t_slots, local)
+        else:
+            window = slice(local, local + 1)
+        profile_ds = self._obs_dds[:, window]
+        profile_dt = self._obs_ddt[:, window]
+        profile_r = self._obs_ren[:, window]
+        profile_p = self._obs_prt[:, window]
+        return BatchCoarseObservation(
             coarse_index=coarse,
             fine_slot=slot,
-            price_lt=float(self._obs_plt[index, coarse - self._coarse0]),
-            demand_ds=sum(profile_ds) / len(profile_ds),
-            demand_dt=sum(profile_dt) / len(profile_dt),
-            renewable=sum(profile_r) / len(profile_r),
-            battery_level=float(battery.level[index]),
-            backlog=float(backlog.backlog[index]),
-            cycle_budget_left=cycles.remaining_scalar(index),
+            price_lt=self._obs_plt[:, coarse - self._coarse0].copy(),
+            demand_ds=self._window_mean(profile_ds),
+            demand_dt=self._window_mean(profile_dt),
+            renewable=self._window_mean(profile_r),
+            battery_level=battery.level.copy(),
+            backlog=backlog.backlog.copy(),
+            cycle_budget_left=cycles.remaining,
             profile_demand_ds=profile_ds,
             profile_demand_dt=profile_dt,
             profile_renewable=profile_r,

@@ -161,3 +161,65 @@ class TestScaledBounds:
         bounds = compute_bounds(system, 1.0, 0.5, 20.0)
         with pytest.raises(ValueError):
             scaled_bounds(bounds, 2.0, 0.4, 0.0, system, 0.5)
+
+
+class TestArrayCapable:
+    """Array inputs evaluate elementwise-identically to scalar calls."""
+
+    def _systems(self):
+        import numpy as np
+
+        base = big_battery_system()
+        small = SystemConfig(b_max=1.0, b_min=0.1, b_charge_max=0.4,
+                             b_discharge_max=0.4, eta_c=0.9, eta_d=1.1,
+                             d_dt_max=0.8, s_dt_max=1.5)
+        return [base, small, base], np
+
+    def test_matches_per_scalar_calls(self):
+        from repro.core.bounds import SystemArrays
+
+        systems, np = self._systems()
+        v = np.array([1.0, 0.25, 3.0])
+        epsilon = np.array([0.5, 1.0, 0.2])
+        cap = np.array([20.0, 5.0, 12.5])
+        theta = np.array([0.0, 0.3, 1.2])
+        for variant in BoundVariant:
+            batch = compute_bounds(SystemArrays.stack(systems), v,
+                                   epsilon, cap, theta, variant=variant)
+            for index, system in enumerate(systems):
+                scalar = compute_bounds(system, float(v[index]),
+                                        float(epsilon[index]),
+                                        float(cap[index]),
+                                        float(theta[index]),
+                                        variant=variant)
+                for name in ("h1", "h2", "h3", "v_max", "q_max",
+                             "y_max", "u_max", "cost_gap"):
+                    assert getattr(batch, name)[index] \
+                        == getattr(scalar, name), (variant, name, index)
+                assert int(batch.lambda_max[index]) == scalar.lambda_max
+
+    def test_theory_applies_requires_every_scenario(self):
+        from repro.core.bounds import SystemArrays
+
+        systems, np = self._systems()
+        mixed = compute_bounds(SystemArrays.stack(systems), np.ones(3),
+                               np.full(3, 0.5), np.full(3, 1.0))
+        assert not mixed.theory_applies  # the small battery violates it
+        big = compute_bounds(
+            SystemArrays.stack([systems[0], systems[2]]), np.ones(2),
+            np.full(2, 0.5), np.full(2, 1.0))
+        assert big.theory_applies
+
+    def test_array_validation_rejects_any_bad_entry(self):
+        from repro.core.bounds import SystemArrays
+        import numpy as np
+
+        systems, _ = self._systems()
+        bundle = SystemArrays.stack(systems)
+        good = np.ones(3)
+        with pytest.raises(ValueError):
+            compute_bounds(bundle, np.array([1.0, -1.0, 1.0]), good, good)
+        with pytest.raises(ValueError):
+            compute_bounds(bundle, good, np.array([0.5, 0.0, 0.5]), good)
+        with pytest.raises(ValueError):
+            compute_bounds(bundle, good, good, np.array([1.0, 1.0, 0.0]))

@@ -169,3 +169,40 @@ class TestEngineWiring:
                            batch_traces=False).run()
         assert fast == slow
         assert all(record["engine"] == "stream" for record in fast)
+
+
+class TestPlanningTailGuard:
+    """A streamed window arriving without the T-slot planning tail must
+    fail loudly: before the guard, the boundary lookback slice went
+    negative and silently wrapped to the wrong (or empty) profile."""
+
+    def _runs(self, batch=2):
+        system = paper_system_config(days=2, fine_slots_per_coarse=6)
+        return [
+            StreamRunSpec(system=system,
+                          controller=SmartDPSS(paper_controller_config()),
+                          stream=StreamingPaperTraces(
+                              system.horizon_slots, seed=seed,
+                              clip_p_grid=system.p_grid))
+            for seed in range(batch)]
+
+    def test_dropped_tail_raises_instead_of_wrapping(self):
+        from repro.exceptions import HorizonMismatchError
+
+        class TailDropping(StreamingBatchSimulator):
+            def _install_chunk(self, columns, price_lt, start, stop,
+                               tail):
+                return super()._install_chunk(columns, price_lt, start,
+                                              stop, None)
+
+        with pytest.raises(HorizonMismatchError, match="planning tail"):
+            TailDropping(self._runs(), chunk_coarse=2).run()
+
+    def test_normal_chunkings_unaffected(self):
+        reference = StreamingBatchSimulator(self._runs(),
+                                            chunk_coarse=8).run()
+        for chunk_coarse in (1, 3):
+            chunked = StreamingBatchSimulator(
+                self._runs(), chunk_coarse=chunk_coarse).run()
+            assert [m.as_dict() for m in chunked] \
+                == [m.as_dict() for m in reference]

@@ -174,3 +174,47 @@ class TestVecState:
         assert cycles.exhausted.tolist() == [True, False]
         assert cycles.remaining_scalar(0) == 0
         assert cycles.remaining_scalar(1) is None
+
+
+class TestBatchCoarseObservation:
+    def _observation(self, runs):
+        simulator = BatchSimulator(runs)
+        state = simulator._begin_run()
+        return simulator._coarse_observations(
+            0, 0, state.battery, state.backlog, state.cycles)
+
+    def test_scalar_split_matches_engine_reference(self):
+        from repro.sim.engine import Simulator
+
+        system = paper_system_config(days=2)
+        runs = [_spec(seed=seed, system=system) for seed in (1, 2, 3)]
+        obs = self._observation(runs)
+        assert obs.batch == 3
+        for index, run in enumerate(runs):
+            captured = {}
+
+            class Spy(SmartDPSS):
+                def plan_long_term(self, observation):
+                    captured.setdefault("obs", observation)
+                    return super().plan_long_term(observation)
+
+            Simulator(system, Spy(run.controller.config),
+                      run.traces).run()
+            assert obs.scalar(index) == captured["obs"]
+
+    def test_window_means_are_slot_order_sums(self):
+        block = np.array([[0.1, 0.2, 0.7], [1.5, 2.5, 3.5]])
+        means = BatchSimulator._window_mean(block)
+        for row in range(2):
+            assert means[row] == sum(block[row].tolist()) / 3
+
+    def test_missing_lookback_tail_raises(self):
+        system = paper_system_config(days=2)
+        simulator = BatchSimulator([_spec(system=system)])
+        state = simulator._begin_run()
+        t_slots = system.fine_slots_per_coarse
+        # Simulate a resident window that lost its planning tail.
+        simulator._slot0 = t_slots + 1
+        with pytest.raises(HorizonMismatchError, match="planning tail"):
+            simulator._coarse_observations(2, 2 * t_slots, state.battery,
+                                           state.backlog, state.cycles)
