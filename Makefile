@@ -3,8 +3,9 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast test-equivalence bench-smoke bench-batch \
-	bench-fleet bench-traces bench-plan benchmarks
+.PHONY: test test-fast test-equivalence test-backend bench-smoke \
+	bench-batch bench-fleet bench-traces bench-plan bench-backend \
+	benchmarks
 
 # Tier-1 verify: the full suite, fail-fast.
 test:
@@ -17,6 +18,12 @@ test-fast:
 # Just the cross-engine equivalence harness + golden fixtures.
 test-equivalence:
 	$(PY) -m pytest -q -m equivalence
+
+# Optional-backend tests (CuPy/JAX); they skip cleanly when the
+# libraries are absent, so this target always passes on a NumPy-only
+# install.
+test-backend:
+	$(PY) -m pytest -q -m backend
 
 # Tiny batch-vs-serial canary: fails if the batch engine errors,
 # diverges from the scalar engine, or regresses past 2x serial.
@@ -42,6 +49,12 @@ bench-traces:
 # planning layer, per stage and end-to-end; writes BENCH_plan.json.
 bench-plan:
 	$(PY) benchmarks/bench_plan.py
+
+# Array-backend layer: allocation-style reference vs the preallocated
+# slot-workspace path, per stage and end-to-end per backend (CuPy/JAX
+# record skips when absent); writes BENCH_backend.json.
+bench-backend:
+	$(PY) benchmarks/bench_backend.py
 
 # Figure-regeneration benchmarks (pytest-benchmark suite).
 benchmarks:

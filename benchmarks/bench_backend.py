@@ -1,0 +1,341 @@
+"""Array-backend benchmark: allocation-style engine vs slot workspaces.
+
+Measures the PR-5 fast path — the pluggable array-backend layer with
+preallocated per-shard slot workspaces and batched substream seeding —
+against the pre-workspace engine configuration (the seed engine:
+allocation-style kernels, per-generator seeding, 64-scenario shards).
+Writes ``BENCH_backend.json`` at the repo root (see
+benchmarks/README.md for how to read it):
+
+1. **Per-stage, NumPy** —
+   * *traces*: one full-horizon ``BatchTraceStream`` read at ``B=64``
+     (cursor construction + kernel passes), per-generator vs batched
+     seeding;
+   * *slot loop*: ``_advance_slot`` over pure fine slots at
+     ``B ∈ {64, 256}``, allocation path vs workspace path;
+   * *planning*: one coarse-boundary ``plan_long_term`` (unchanged by
+     this PR; recorded for the stage breakdown).
+2. **End-to-end** — the 10⁴-scenario streamed demo sweep
+   (``python -m repro.fleet run --demo v-sweep``) in the seed
+   configuration versus the new defaults.  Acceptance: **≥ 1.5×**
+   with **all records bit-identical**.
+3. **Other backends** — CuPy/JAX rows run the stateless P5 kernel when
+   the library is importable and otherwise record the skip reason;
+   the default install stays NumPy-only by policy.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_backend.py            # full
+    PYTHONPATH=src python benchmarks/bench_backend.py --quick    # small
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import rng as rng_mod  # noqa: E402
+from repro.backend import available_backends, use_backend  # noqa: E402
+from repro.backend import workspace as workspace_mod  # noqa: E402
+from repro.config.presets import (  # noqa: E402
+    paper_controller_config,
+    paper_system_config,
+)
+from repro.core.smartdpss import SmartDPSS  # noqa: E402
+from repro.core.smartdpss_vec import VecSmartDPSS  # noqa: E402
+from repro.fleet.__main__ import build_demo_fleet  # noqa: E402
+from repro.fleet.runner import (  # noqa: E402
+    DEFAULT_BATCH_SIZE,
+    FleetRunner,
+)
+from repro.fleet.stream import (  # noqa: E402
+    BatchTraceStream,
+    StreamingPaperTraces,
+)
+from repro.sim.batch import BatchSimulator, RunSpec  # noqa: E402
+from repro.traces.library import make_paper_traces  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_backend.json"
+
+#: Minimum acceptable end-to-end speedup of the workspace fast path.
+END_TO_END_TARGET = 1.5
+
+#: The seed engine's shard size (pre-PR default), used as the baseline.
+BASELINE_BATCH_SIZE = 64
+
+
+def _fast_path(enabled: bool) -> None:
+    """Flip every fast-path default introduced by this PR."""
+    workspace_mod.WORKSPACE_DEFAULT = enabled
+    rng_mod.BATCHED_SEEDING = enabled
+
+
+def measure_traces(batch: int, horizon: int, repeats: int) -> dict:
+    """Full-horizon batched trace generation, per seeding mode."""
+    streams = [StreamingPaperTraces(n_slots=horizon, seed=seed)
+               for seed in range(batch)]
+    source = BatchTraceStream(streams)
+    timings = {}
+    blocks = {}
+    for label, flag in (("reference", False), ("fast", True)):
+        rng_mod.BATCHED_SEEDING = flag
+        best = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            blocks[label] = source.open().read(horizon)
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        timings[label] = best
+    rng_mod.BATCHED_SEEDING = True
+    identical = all(
+        np.array_equal(getattr(blocks["reference"], name),
+                       getattr(blocks["fast"], name))
+        for name in ("demand_ds", "demand_dt", "renewable",
+                     "price_rt", "price_lt_hourly"))
+    speedup = timings["reference"] / timings["fast"]
+    print(f"  traces B={batch} x{horizon} slots: "
+          f"{timings['reference'] * 1e3:7.2f}ms -> "
+          f"{timings['fast'] * 1e3:7.2f}ms ({speedup:.2f}x), "
+          f"identical={identical}")
+    return {
+        "batch_size": batch,
+        "horizon_slots": horizon,
+        "reference_s": round(timings["reference"], 5),
+        "fast_s": round(timings["fast"], 5),
+        "speedup": round(speedup, 2),
+        "blocks_identical": identical,
+        "ok": identical,
+    }
+
+
+def _slot_simulator(batch: int, workspace: bool) -> tuple:
+    system = paper_system_config(days=10)
+    configs = [paper_controller_config(v=float(v))
+               for v in np.geomspace(0.05, 5.0, batch)]
+    runs = [RunSpec(system=system, controller=SmartDPSS(config),
+                    traces=make_paper_traces(system, seed=seed))
+            for seed, config in enumerate(configs)]
+    simulator = BatchSimulator(
+        runs,
+        controller=VecSmartDPSS([run.controller for run in runs],
+                                workspace=workspace),
+        workspace=workspace)
+    state = simulator._begin_run()
+    for slot in range(simulator._t_slots + 1):
+        simulator._advance_slot(slot, state)
+    return simulator, state
+
+
+def measure_slot_loop(batch: int, slots: int) -> dict:
+    """Pure fine-slot advancement, allocation path vs workspace path."""
+    timings = {}
+    for label, flag in (("reference", False), ("fast", True)):
+        simulator, state = _slot_simulator(batch, workspace=flag)
+        start = simulator._t_slots + 1
+        horizon = simulator._n_slots
+        t0 = time.perf_counter()
+        for index in range(slots):
+            slot = start + index % (horizon - start)
+            if slot % simulator._t_slots == 0:
+                slot += 1  # keep the measured window boundary-free
+            simulator._advance_slot(slot, state)
+        timings[label] = time.perf_counter() - t0
+    speedup = timings["reference"] / timings["fast"]
+    per_slot = timings["fast"] / slots * 1e6
+    print(f"  slot loop B={batch:4d} x{slots} slots: "
+          f"{timings['reference']:6.3f}s -> {timings['fast']:6.3f}s "
+          f"({speedup:.2f}x, {per_slot:.0f} us/slot)")
+    return {
+        "batch_size": batch,
+        "slots": slots,
+        "reference_s": round(timings["reference"], 4),
+        "fast_s": round(timings["fast"], 4),
+        "speedup": round(speedup, 2),
+        "fast_us_per_slot": round(per_slot, 1),
+    }
+
+
+def measure_planning(batch: int, boundaries: int) -> dict:
+    """One coarse-boundary plan (stage unchanged by this PR)."""
+    simulator, state = _slot_simulator(batch, workspace=True)
+    obs = simulator._coarse_observations(
+        1, simulator._t_slots, state.battery, state.backlog,
+        state.cycles)
+    controller = simulator.controller
+    controller.plan_long_term(obs)  # warm-up
+    t0 = time.perf_counter()
+    for _ in range(boundaries):
+        controller.plan_long_term(obs)
+    elapsed = time.perf_counter() - t0
+    per_boundary = elapsed / boundaries * 1e3
+    print(f"  planning B={batch} x{boundaries} boundaries: "
+          f"{per_boundary:.2f} ms/boundary")
+    return {
+        "batch_size": batch,
+        "boundaries": boundaries,
+        "total_s": round(elapsed, 4),
+        "ms_per_boundary": round(per_boundary, 3),
+    }
+
+
+def measure_end_to_end(n_scenarios: int, repeats: int) -> dict:
+    """The demo streamed sweep: seed configuration vs new defaults.
+
+    Both paths run interleaved ``repeats`` times (best-of to read
+    through single-core container noise); *all* records must compare
+    equal — they carry every metric float, so equality is the
+    bit-identity gate.
+    """
+    specs = build_demo_fleet("v-sweep", n_scenarios, days=1, t_slots=6,
+                             sample_seed=0)
+    timings = {"reference": [], "fast": []}
+    records = {}
+    try:
+        for _ in range(repeats):
+            for label, flag, batch_size in (
+                    ("reference", False, BASELINE_BATCH_SIZE),
+                    ("fast", True, DEFAULT_BATCH_SIZE)):
+                _fast_path(flag)
+                runner = FleetRunner(specs, batch_size=batch_size)
+                t0 = time.perf_counter()
+                records[label] = runner.run()
+                elapsed = time.perf_counter() - t0
+                timings[label].append(elapsed)
+                print(f"  end-to-end {label:9s}: {elapsed:6.2f}s "
+                      f"({n_scenarios / elapsed:.0f} scenarios/s)")
+    finally:
+        _fast_path(True)
+    identical = records["reference"] == records["fast"]
+    best = {label: min(times) for label, times in timings.items()}
+    speedup = best["reference"] / best["fast"]
+    # The timing gate only means something at acceptance scale with
+    # best-of-N; tiny --quick runs gate on bit-identity alone so a
+    # noisy neighbour cannot fail a smoke invocation.
+    gate_timing = n_scenarios >= 5000 and repeats >= 2
+    return {
+        "n_scenarios": n_scenarios,
+        "repeats_best_of": repeats,
+        "reference_batch_size": BASELINE_BATCH_SIZE,
+        "fast_batch_size": DEFAULT_BATCH_SIZE,
+        "reference_s": round(best["reference"], 3),
+        "fast_s": round(best["fast"], 3),
+        "reference_scenarios_per_s": round(
+            n_scenarios / best["reference"], 1),
+        "fast_scenarios_per_s": round(n_scenarios / best["fast"], 1),
+        "speedup": round(speedup, 2),
+        "speedup_gated": gate_timing,
+        "records_identical": bool(identical),
+        "ok": bool(identical and (not gate_timing
+                                  or speedup >= END_TO_END_TARGET)),
+    }
+
+
+def measure_optional_backends(batch: int, rounds: int) -> dict:
+    """P5 kernel timing per optional backend; recorded skips otherwise."""
+    from repro.config.control import ObjectiveMode
+    from repro.core.p5_vec import BatchSlotState, solve_p5_batch
+
+    rng = np.random.default_rng(0)
+    host_fields = {name: rng.uniform(0.1, 2.0, batch) for name in (
+        "q_hat", "y_hat", "x_hat", "v", "price_rt", "battery_op_cost",
+        "waste_penalty", "backlog", "gbef_rate", "renewable",
+        "demand_ds", "charge_cap", "discharge_cap", "eta_c", "eta_d",
+        "s_dt_max", "grt_cap", "battery_margin")}
+    availability = available_backends()
+    report = {}
+    for name in ("numpy", "cupy", "jax"):
+        reason = availability[name]
+        if reason is not None:
+            report[name] = {"skipped": True, "reason": reason}
+            print(f"  backend {name}: skipped ({reason.splitlines()[0]})")
+            continue
+        try:
+            with use_backend(name) as backend:
+                fields = {key: backend.asarray(value)
+                          for key, value in host_fields.items()}
+                state = BatchSlotState(**fields)
+                solve_p5_batch(state, ObjectiveMode.DERIVED)  # warm-up
+                backend.synchronize()
+                t0 = time.perf_counter()
+                for _ in range(rounds):
+                    solve_p5_batch(state, ObjectiveMode.DERIVED)
+                backend.synchronize()
+                elapsed = time.perf_counter() - t0
+            report[name] = {
+                "skipped": False,
+                "p5_kernel_us": round(elapsed / rounds * 1e6, 1),
+                "mutable": backend.mutable,
+            }
+            print(f"  backend {name}: P5 kernel "
+                  f"{elapsed / rounds * 1e6:.0f} us at B={batch}")
+        except Exception as error:  # pragma: no cover - device-specific
+            report[name] = {"skipped": True,
+                            "reason": f"{type(error).__name__}: {error}"}
+            print(f"  backend {name}: failed ({error})")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny sizes, no JSON output")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        traces = measure_traces(batch=16, horizon=168, repeats=2)
+        slot_loop = [measure_slot_loop(batch, slots=60)
+                     for batch in (64,)]
+        planning = measure_planning(batch=64, boundaries=30)
+        end_to_end = measure_end_to_end(n_scenarios=400, repeats=1)
+        backends = measure_optional_backends(batch=64, rounds=50)
+    else:
+        traces = measure_traces(batch=64, horizon=744, repeats=3)
+        slot_loop = [measure_slot_loop(batch, slots=200)
+                     for batch in (64, 256)]
+        planning = measure_planning(batch=64, boundaries=100)
+        end_to_end = measure_end_to_end(n_scenarios=10_000, repeats=3)
+        backends = measure_optional_backends(batch=64, rounds=200)
+
+    target_met = bool(traces["ok"] and end_to_end["ok"])
+    payload = {
+        "workload": ("batched trace generation, the boundary-free slot "
+                     "loop, coarse-boundary planning, and the "
+                     "10^4-scenario streamed v-sweep demo; optional "
+                     "backends run the stateless P5 kernel"),
+        "target": (f"end-to-end >= {END_TO_END_TARGET}x the seed engine "
+                   f"configuration on the NumPy workspace backend, all "
+                   f"records bit-identical; importing repro never "
+                   f"requires CuPy/JAX"),
+        "target_met": target_met,
+        "stages": {
+            "traces": traces,
+            "slot_loop": slot_loop,
+            "planning": planning,
+        },
+        "end_to_end": end_to_end,
+        "backends": backends,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+    if not args.quick:
+        OUTPUT.write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+        print(f"\nwrote {OUTPUT} (target met: {target_met})")
+    return 0 if target_met else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,31 @@
-"""Legacy setup shim.
+"""Package metadata and optional-dependency extras.
 
-Package metadata lives in pyproject.toml; this file exists so that
-``pip install -e .`` works on environments whose setuptools lacks PEP 660
-editable-wheel support (e.g. offline machines without the ``wheel``
-package).
+The default install is **NumPy-only** by policy: importing ``repro``
+never touches CuPy or JAX, and every optional-backend code path is
+lazily imported and cleanly skipped when the library is absent (see
+``repro/backend/__init__.py``).  The extras exist so accelerator users
+can opt in:
+
+* ``pip install repro[cupy]`` — CuPy backend (pick the wheel matching
+  your CUDA toolkit if the generic one does not resolve);
+* ``pip install repro[jax]`` — JAX backend (pure kernels only; the
+  in-place slot workspaces need a mutable array namespace).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("SmartDPSS reproduction: cost-minimizing multi-source "
+                 "datacenter power supply (ICDCS 2013)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    extras_require={
+        "cupy": ["cupy>=12"],
+        "jax": ["jax>=0.4"],
+        "test": ["pytest>=7", "hypothesis>=6"],
+    },
+)

@@ -20,6 +20,7 @@ Quickstart::
     print(result.time_average_cost, result.average_delay_hours())
 """
 
+from repro.caches import clear_caches
 from repro.baselines import (
     ImpatientController,
     MyopicPriceThreshold,
@@ -54,6 +55,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # Process hygiene
+    "clear_caches",
     # Configuration
     "SystemConfig",
     "SmartDPSSConfig",

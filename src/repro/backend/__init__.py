@@ -1,0 +1,222 @@
+"""Pluggable array-backend layer for the vectorized hot paths.
+
+Every hot-path kernel in this repo — the P5 candidate tensors
+(:mod:`repro.core.p5_vec`), the P4 planning tensors
+(:mod:`repro.core.p4`), the batch slot loop (:mod:`repro.sim.batch` /
+:mod:`repro.sim.vecstate`) — is array-in/array-out NumPy with a fixed
+op sequence.  This package turns the array *namespace* those kernels
+use into a runtime choice:
+
+* ``numpy`` — the default and the reference.  Always available, fully
+  supported, bit-identical to the scalar engine (the equivalence
+  harness gates it).
+* ``cupy`` — optional, lazily imported.  Drop-in ``xp`` namespace with
+  NumPy-compatible in-place semantics (``out=``), so both the pure
+  kernels and the preallocated slot workspaces
+  (:mod:`repro.backend.workspace`) can run on it.  Experimental: the
+  adapter is exercised only where CUDA hardware is present.
+* ``jax`` — optional, lazily imported.  ``jax.numpy`` is a pure
+  (immutable-array) namespace: the allocation-style kernels work, the
+  in-place workspaces do not — :func:`ArrayBackend.mutable` is
+  ``False`` and the engine automatically falls back to the allocation
+  path.  Experimental.
+
+Selection
+---------
+* Environment: ``REPRO_BACKEND=numpy|cupy|jax`` (read once, at first
+  use).
+* Programmatic: :func:`set_backend` / the :func:`use_backend` context
+  manager.
+
+Importing :mod:`repro` never imports CuPy or JAX — adapters load only
+when their backend is explicitly selected, and raise
+:class:`BackendUnavailableError` with install guidance when the
+library is missing (``pip install repro[cupy]`` / ``repro[jax]``).
+
+What stays host-side
+--------------------
+Trace *generation* is bound to :class:`numpy.random.Generator`
+substreams (the seed-determinism contract), so it always runs on the
+host; the streamed engine transfers each chunk of trace columns to
+the active backend at the chunk boundary
+(:meth:`ArrayBackend.asarray`), which is the natural kernel boundary
+the ROADMAP names.  Result collection (delay-ledger replay, JSON
+records) likewise pulls arrays back with
+:meth:`ArrayBackend.to_numpy`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.exceptions import ConfigurationError
+
+#: Environment variable naming the backend to activate at first use.
+ENV_VAR = "REPRO_BACKEND"
+
+#: The backend used when neither the environment nor code selects one.
+DEFAULT_BACKEND = "numpy"
+
+#: Adapter modules, lazily imported on selection.
+_ADAPTERS = {
+    "numpy": "repro.backend.numpy_backend",
+    "cupy": "repro.backend.cupy_backend",
+    "jax": "repro.backend.jax_backend",
+}
+
+#: Registered backend names, in preference order.
+BACKEND_NAMES = tuple(_ADAPTERS)
+
+
+class BackendUnavailableError(ConfigurationError):
+    """A requested backend's library is not importable."""
+
+
+class ArrayBackend:
+    """One array namespace plus its transfer/synchronization helpers.
+
+    Parameters
+    ----------
+    name:
+        Registry name (``"numpy"``, ``"cupy"``, ``"jax"``).
+    xp:
+        The array namespace module (``numpy``, ``cupy`` or
+        ``jax.numpy``).
+    mutable:
+        Whether the namespace supports NumPy's in-place semantics
+        (``out=`` kwargs, ``copyto``, views that write through).  The
+        preallocated slot workspaces require this; immutable backends
+        fall back to the allocation-style kernels.
+    asarray:
+        Move/convert a host array onto this backend (no copy when
+        already native).
+    to_numpy:
+        Pull a backend array back to a host :class:`numpy.ndarray`.
+    synchronize:
+        Block until queued device work finishes (no-op on the host);
+        benchmarks call it around timed regions.
+    """
+
+    __slots__ = ("name", "xp", "mutable", "_asarray", "_to_numpy",
+                 "_synchronize")
+
+    def __init__(self, name: str, xp, mutable: bool,
+                 asarray: Callable, to_numpy: Callable,
+                 synchronize: Callable | None = None):
+        self.name = name
+        self.xp = xp
+        self.mutable = bool(mutable)
+        self._asarray = asarray
+        self._to_numpy = to_numpy
+        self._synchronize = synchronize
+
+    def asarray(self, array):
+        """``array`` as this backend's native array type."""
+        return self._asarray(array)
+
+    def to_numpy(self, array):
+        """``array`` as a host :class:`numpy.ndarray`."""
+        return self._to_numpy(array)
+
+    def synchronize(self) -> None:
+        """Wait for queued device work (no-op for host backends)."""
+        if self._synchronize is not None:
+            self._synchronize()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ArrayBackend(name={self.name!r}, "
+                f"mutable={self.mutable})")
+
+
+_active: ArrayBackend | None = None
+
+
+def _load(name: str) -> ArrayBackend:
+    if name not in _ADAPTERS:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")
+    return importlib.import_module(_ADAPTERS[name]).load()
+
+
+def active_backend() -> ArrayBackend:
+    """The backend in effect (resolving ``REPRO_BACKEND`` on first use)."""
+    global _active
+    if _active is None:
+        _active = _load(os.environ.get(ENV_VAR, DEFAULT_BACKEND))
+    return _active
+
+
+def set_backend(name: str) -> ArrayBackend:
+    """Activate a backend by name; returns it.
+
+    Raises :class:`BackendUnavailableError` (and leaves the previous
+    backend active) when the library is not importable.
+    """
+    global _active
+    backend = _load(name)
+    _active = backend
+    return backend
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[ArrayBackend]:
+    """Context manager: activate ``name``, restore the previous backend."""
+    global _active
+    previous = _active
+    backend = set_backend(name)
+    try:
+        yield backend
+    finally:
+        _active = previous
+
+
+def current_xp():
+    """The active backend's array namespace (one call per kernel entry).
+
+    Hot kernels fetch the namespace once into a local instead of going
+    through the :data:`xp` proxy per operation.
+    """
+    return active_backend().xp
+
+
+def available_backends() -> dict[str, str | None]:
+    """Importability per registered backend, without activating any.
+
+    Maps each name to ``None`` when the backend loads, or to the error
+    string explaining why it cannot (what the benchmark records as a
+    skip reason).
+    """
+    report: dict[str, str | None] = {}
+    for name in BACKEND_NAMES:
+        try:
+            _load(name)
+        except BackendUnavailableError as error:
+            report[name] = str(error)
+        else:
+            report[name] = None
+    return report
+
+
+class _NamespaceProxy:
+    """Module-like ``xp`` handle that follows the active backend.
+
+    ``from repro.backend import xp`` gives cool-path code a stable
+    import; each attribute access resolves against the active
+    backend's namespace.  Hot loops should use :func:`current_xp`
+    instead (one lookup per call, not per op).
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str):
+        return getattr(active_backend().xp, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<xp proxy -> {active_backend().name}>"
+
+
+#: The active array namespace, as a late-binding proxy.
+xp = _NamespaceProxy()

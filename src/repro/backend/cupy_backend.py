@@ -1,0 +1,34 @@
+"""Optional CuPy backend (lazily imported; experimental).
+
+CuPy's namespace is NumPy-compatible including the in-place surface
+(``out=``, ``copyto``), so both the allocation-style kernels and the
+preallocated slot workspaces run on it unchanged.  Trace generation
+stays host-side (NumPy ``Generator`` substreams are the seed
+contract); chunks transfer at the engine's chunk boundary.
+"""
+
+from __future__ import annotations
+
+from repro.backend import ArrayBackend, BackendUnavailableError
+
+
+def load() -> ArrayBackend:
+    try:
+        import cupy
+    except ImportError as error:
+        raise BackendUnavailableError(
+            "the 'cupy' backend needs CuPy installed (pip install "
+            "repro[cupy], picking the wheel matching your CUDA "
+            f"toolkit): {error}") from error
+
+    def synchronize() -> None:
+        cupy.cuda.get_current_stream().synchronize()
+
+    return ArrayBackend(
+        name="cupy",
+        xp=cupy,
+        mutable=True,
+        asarray=cupy.asarray,
+        to_numpy=cupy.asnumpy,
+        synchronize=synchronize,
+    )

@@ -1,0 +1,38 @@
+"""Optional JAX backend (lazily imported; experimental).
+
+``jax.numpy`` is a *pure* array namespace: arrays are immutable and
+``out=`` is unsupported, so :attr:`ArrayBackend.mutable` is ``False``
+and the engine keeps its allocation-style kernels (the preallocated
+slot workspaces are skipped automatically).  Useful for the stateless
+tensor kernels — P5 candidate enumeration, the P4 window-cost pass —
+under ``jit`` experimentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import ArrayBackend, BackendUnavailableError
+
+
+def load() -> ArrayBackend:
+    try:
+        import jax
+        import jax.numpy as jnp
+    except ImportError as error:
+        raise BackendUnavailableError(
+            "the 'jax' backend needs JAX installed (pip install "
+            f"repro[jax]): {error}") from error
+
+    def synchronize() -> None:
+        # Block on any pending async dispatch.
+        (jnp.zeros(()) + 0).block_until_ready()
+
+    return ArrayBackend(
+        name="jax",
+        xp=jnp,
+        mutable=False,
+        asarray=jnp.asarray,
+        to_numpy=np.asarray,
+        synchronize=synchronize,
+    )

@@ -1,0 +1,22 @@
+"""The default (and reference) NumPy backend."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import ArrayBackend
+
+
+def _asarray(array):
+    # No-copy passthrough for arrays that are already host ndarrays.
+    return array if isinstance(array, np.ndarray) else np.asarray(array)
+
+
+def load() -> ArrayBackend:
+    return ArrayBackend(
+        name="numpy",
+        xp=np,
+        mutable=True,
+        asarray=_asarray,
+        to_numpy=np.asarray,
+    )

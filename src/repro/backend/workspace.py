@@ -1,0 +1,184 @@
+"""Preallocated per-shard slot workspaces for the batch hot path.
+
+Profiling the streamed fleet sweep showed the per-slot cost of the
+NumPy engine to be *allocation-bound*: ``solve_p5_batch`` materializes
+fresh ``(17, B)`` candidate/value tensors and a few dozen
+``np.where`` / ``np.minimum`` temporaries every fine slot, and the
+physics step another ~30 ``(B,)`` temporaries.  A workspace
+preallocates every one of those buffers once per shard (one engine
+invocation) and the in-place kernel variants write them with
+``out=`` / ``copyto`` ufunc calls — the *same elementwise IEEE-754
+operations in the same order*, so results stay bit-identical to the
+allocation-style kernels (enforced three ways by
+``tests/equivalence/test_backend_workspace.py``).
+
+Three bundles, one per consumer:
+
+* :class:`P5Workspace` — candidate grids, validity masks and objective
+  scratch for :func:`repro.core.p5_vec.solve_p5_batch`;
+* :class:`RealTimeWorkspace` — the per-slot controller prep in
+  :meth:`repro.core.smartdpss_vec.VecSmartDPSS.real_time` /
+  ``end_slot``;
+* :class:`PhysicsWorkspace` — the engine's
+  :meth:`~repro.sim.batch.BatchSimulator._step_physics` temporaries.
+
+Workspaces require a *mutable* backend
+(:attr:`~repro.backend.ArrayBackend.mutable`); on immutable namespaces
+(JAX) :func:`workspace_enabled` returns ``False`` and every consumer
+falls back to the allocation-style kernels.  Flip
+:data:`WORKSPACE_DEFAULT` (benchmarks do) to force the allocation path
+globally — that path is also the pre-workspace reference the
+equivalence pack pins.
+"""
+
+from __future__ import annotations
+
+from repro.backend import ArrayBackend, active_backend
+
+#: Default for the engine/controller ``workspace`` knobs (``None``
+#: resolves to this).  ``benchmarks/bench_backend.py`` flips it to
+#: time the allocation-style reference against the workspace path.
+WORKSPACE_DEFAULT = True
+
+
+def workspace_enabled(flag: bool | None = None,
+                      backend: ArrayBackend | None = None) -> bool:
+    """Resolve a ``workspace`` knob against the default and backend.
+
+    ``None`` means "the module default"; any setting is vetoed when
+    the active backend cannot mutate arrays in place.
+    """
+    backend = backend or active_backend()
+    if not backend.mutable:
+        return False
+    return WORKSPACE_DEFAULT if flag is None else bool(flag)
+
+
+class P5Workspace:
+    """Buffers for one batch's P5 vertex enumeration (``(C, B)`` grids).
+
+    Rows the allocation-style kernel leaves at their initial value
+    (zero candidate coordinates, always-valid rows) are initialized
+    once here and never written by the in-place kernel, which is what
+    lets the candidate matrices persist across slots.
+    """
+
+    __slots__ = (
+        "xp", "batch", "n_candidates", "lanes",
+        "grt", "gamma", "valid", "values",
+        "sdt", "net", "ta", "tb", "charge", "waste", "deficit",
+        "discharge", "unserved", "n_cost",
+        "positive", "ma", "mb", "mc",
+        "intercept", "present", "present_ok",
+        "gamma_edges", "grt_edges",
+        "graw", "hclip", "vraw", "vclip", "ha", "hb", "va", "vb",
+        "gamma_hi", "grt_hi", "safe_slope", "base",
+        "b1", "b2", "b3", "b4", "b5",
+        "minimum", "threshold", "out_grt", "out_gamma",
+        "lane_ok", "lane_bad", "backlog_pos",
+        "rows", "flat_index",
+    )
+
+    def __init__(self, batch: int, n_candidates: int,
+                 backend: ArrayBackend | None = None):
+        backend = backend or active_backend()
+        xp = backend.xp
+        self.xp = xp
+        self.batch = int(batch)
+        self.n_candidates = int(n_candidates)
+        c, n = self.n_candidates, self.batch
+        self.lanes = xp.arange(n)
+
+        # Candidate matrices: zero rows / always-valid rows are set
+        # here once (see class docstring).
+        self.grt = xp.zeros((c, n))
+        self.gamma = xp.zeros((c, n))
+        self.valid = xp.ones((c, n), dtype=bool)
+        self.values = xp.empty((c, n))
+
+        # Physics / objective scratch over the candidate matrix.
+        for name in ("sdt", "net", "ta", "tb", "charge", "waste",
+                     "deficit", "discharge", "unserved", "n_cost"):
+            setattr(self, name, xp.empty((c, n)))
+        for name in ("positive", "ma", "mb", "mc"):
+            setattr(self, name, xp.empty((c, n), dtype=bool))
+
+        # Breakpoint-line scratch (3 intercepts x 2 edges).
+        self.intercept = xp.empty((3, n))
+        self.present = xp.ones((3, n), dtype=bool)  # row 0 stays True
+        self.present_ok = xp.empty((3, n), dtype=bool)
+        self.gamma_edges = xp.zeros((2, n))  # row 0 stays 0.0
+        self.grt_edges = xp.zeros((2, n))    # row 0 stays 0.0
+        for name in ("graw", "hclip", "vraw", "vclip"):
+            setattr(self, name, xp.empty((2, 3, n)))
+        for name in ("ha", "hb", "va", "vb"):
+            setattr(self, name, xp.empty((2, 3, n), dtype=bool))
+
+        # Per-lane scratch.
+        for name in ("gamma_hi", "grt_hi", "safe_slope", "base",
+                     "b1", "b2", "b3", "b4", "b5",
+                     "minimum", "threshold", "out_grt", "out_gamma"):
+            setattr(self, name, xp.empty(n))
+        for name in ("lane_ok", "lane_bad", "backlog_pos"):
+            setattr(self, name, xp.empty(n, dtype=bool))
+        self.rows = xp.empty(n, dtype=xp.intp)
+        self.flat_index = xp.empty(n, dtype=xp.intp)
+
+
+class RealTimeWorkspace:
+    """Buffers for ``VecSmartDPSS``'s per-slot prep and queue updates."""
+
+    __slots__ = ("xp", "batch", "price_n", "charge_room", "charge_cap",
+                 "discharge_room", "discharge_cap", "grt_cap", "growth",
+                 "x_value", "usable", "not_usable")
+
+    def __init__(self, batch: int, backend: ArrayBackend | None = None):
+        backend = backend or active_backend()
+        xp = backend.xp
+        self.xp = xp
+        self.batch = int(batch)
+        n = self.batch
+        for name in ("price_n", "charge_room", "charge_cap",
+                     "discharge_room", "discharge_cap", "grt_cap",
+                     "growth", "x_value"):
+            setattr(self, name, xp.empty(n))
+        self.usable = xp.empty(n, dtype=bool)
+        self.not_usable = xp.empty(n, dtype=bool)
+
+
+class PhysicsWorkspace:
+    """Buffers for the engine's per-slot physics resolution."""
+
+    __slots__ = (
+        "xp", "batch",
+        "rate", "grid_headroom", "supply_headroom", "budget_left",
+        "grt", "ta", "tb", "cost_rt", "sdt_request", "desired",
+        "surplus", "need", "discharge_cap", "covered",
+        "discharge_request", "sdt", "unserved", "served_ds",
+        "charge_request", "accepted", "waste", "cost_battery",
+        "cost_lt", "cost_waste", "cost_total", "renewable_used",
+        "curtailed", "supply",
+        "m1", "m2", "m3", "had_backlog", "surplus_branch",
+        "full_cover", "served_whole", "covers_ds", "allowed",
+        "not_allowed",
+    )
+
+    def __init__(self, batch: int, backend: ArrayBackend | None = None):
+        backend = backend or active_backend()
+        xp = backend.xp
+        self.xp = xp
+        self.batch = int(batch)
+        n = self.batch
+        for name in ("rate", "grid_headroom", "supply_headroom",
+                     "budget_left", "grt", "ta", "tb", "cost_rt",
+                     "sdt_request", "desired", "surplus", "need",
+                     "discharge_cap", "covered", "discharge_request",
+                     "sdt", "unserved", "served_ds", "charge_request",
+                     "accepted", "waste", "cost_battery", "cost_lt",
+                     "cost_waste", "cost_total", "renewable_used",
+                     "curtailed", "supply"):
+            setattr(self, name, xp.empty(n))
+        for name in ("m1", "m2", "m3", "had_backlog", "surplus_branch",
+                     "full_cover", "served_whole", "covers_ds",
+                     "allowed", "not_allowed"):
+            setattr(self, name, xp.empty(n, dtype=bool))

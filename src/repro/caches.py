@@ -1,0 +1,58 @@
+"""Module-level cache registry and the ``clear_caches()`` test hook.
+
+The library keeps a handful of module-level caches on hot paths, all
+of them *bounded* so long mixed-configuration sweeps cannot grow them
+without limit:
+
+============================================  =======================
+cache                                         bound
+============================================  =======================
+``repro.core.p5_vec._LANE_CACHE``             64 entries (dict, FIFO
+(lane-index vectors per (backend, batch))     eviction)
+``repro.core.p4._STEP_CACHE``                 64 entries (dict, FIFO
+(candidate step vectors per window length)    eviction)
+``repro.fleet.spec`` builder caches           ``lru_cache(1024)`` each
+(system / trace-model / controller configs)
+``repro.traces.solar._capacity_factors``      ``lru_cache(512)``
+(clear-sky geometry per window)
+============================================  =======================
+
+:func:`clear_caches` empties every one of them — the hook tests (and
+long-lived services between sweeps) use to return the process to a
+cold-cache state.  Entries are pure functions of their keys, so
+clearing is always safe: the next use simply recomputes.
+"""
+
+from __future__ import annotations
+
+
+def clear_caches() -> None:
+    """Empty every registered module-level cache (see module docs)."""
+    from repro.core import p4, p5_vec
+    from repro.fleet import spec
+    from repro.traces import solar
+
+    p5_vec._LANE_CACHE.clear()
+    p4._STEP_CACHE.clear()
+    spec._cached_system.cache_clear()
+    spec._cached_models.cache_clear()
+    spec._cached_smartdpss_config.cache_clear()
+    solar._capacity_factors.cache_clear()
+
+
+def cache_sizes() -> dict[str, int]:
+    """Current entry counts per cache (introspection for tests)."""
+    from repro.core import p4, p5_vec
+    from repro.fleet import spec
+    from repro.traces import solar
+
+    return {
+        "p5_vec.lane": len(p5_vec._LANE_CACHE),
+        "p4.steps": len(p4._STEP_CACHE),
+        "fleet.spec.system": spec._cached_system.cache_info().currsize,
+        "fleet.spec.models": spec._cached_models.cache_info().currsize,
+        "fleet.spec.smartdpss":
+            spec._cached_smartdpss_config.cache_info().currsize,
+        "traces.solar.clear_sky":
+            solar._capacity_factors.cache_info().currsize,
+    }

@@ -127,13 +127,20 @@ def _deferrable_pool(state: P4State, scale: float) -> float:
 
 #: Cache of step vectors ``[0, 1, …, count−1]`` keyed by length (P4
 #: solves run once per scenario per coarse boundary; the windows reuse
-#: a handful of lengths).
+#: a handful of lengths).  Bounded: a long mixed-``T`` sweep evicts
+#: the oldest entry past the cap instead of growing without bound
+#: (see :func:`repro.caches.clear_caches`).
 _STEP_CACHE: dict[int, np.ndarray] = {}
+
+#: Maximum retained step vectors.
+_STEP_CACHE_MAX = 64
 
 
 def _steps(count: int) -> np.ndarray:
     steps = _STEP_CACHE.get(count)
     if steps is None:
+        while len(_STEP_CACHE) >= _STEP_CACHE_MAX:
+            _STEP_CACHE.pop(next(iter(_STEP_CACHE)))
         steps = _STEP_CACHE[count] = np.arange(float(count))
     return steps
 
@@ -231,6 +238,12 @@ def _window_values(w: _StackedWindows, rates: np.ndarray) -> np.ndarray:
     slots), so each ``(scenario, rate)`` lane's result is independent
     of how many other lanes are evaluated alongside it — the scalar
     solver is literally the ``count == 1`` call of this kernel.
+
+    Deliberately host-side NumPy: the ``P4State`` records feeding it
+    are assembled from host floats by contract (see ROADMAP), the
+    pass runs at boundary rate (once per coarse slot, not per fine
+    slot), and the downstream scan finalizes scalar solutions — so
+    there is no device residency to preserve here.
     """
     gap = w.nets[:, None, :] - rates[:, :, None]
     deficits = np.maximum(gap, 0.0)
@@ -289,9 +302,11 @@ def _base_grids(w: _StackedWindows) -> np.ndarray:
                          axis=1)
     inside = (w.floors[:, None] <= raw) & (raw <= w.p_grid[:, None])
     work = np.sort(np.where(inside, raw, np.inf), axis=1)
-    work[:, 1:] = np.where(work[:, 1:] == work[:, :-1], np.inf,
-                           work[:, 1:])
-    grid = np.sort(work, axis=1)
+    deduped = np.concatenate(
+        (work[:, :1],
+         np.where(work[:, 1:] == work[:, :-1], np.inf, work[:, 1:])),
+        axis=1)
+    grid = np.sort(deduped, axis=1)
     return np.where(np.isinf(grid), w.p_grid[:, None], grid)
 
 

@@ -107,7 +107,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     store = ResultStore(args.out)
     runner = FleetRunner(specs, batch_size=args.batch_size,
                          chunk_coarse=args.chunk_coarse,
-                         max_workers=args.workers, store=store)
+                         max_workers=args.workers, store=store,
+                         resume=not args.no_resume)
 
     t0 = time.perf_counter()
 
@@ -172,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
                      default=DEFAULT_CHUNK_COARSE,
                      help="coarse slots of trace data resident per "
                           "scenario")
+    run.add_argument("--no-resume", action="store_true",
+                     help="re-execute scenarios whose spec hash is "
+                          "already stored (default: skip them and "
+                          "serve the stored records — interrupted "
+                          "sweeps resume cheaply)")
     run.add_argument("--sample-seed", type=int, default=0,
                      help="root seed for --demo random")
     run.add_argument("--verbose", action="store_true",

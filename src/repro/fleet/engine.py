@@ -86,6 +86,9 @@ class StreamingAggregator:
     series (see :meth:`ScenarioMetrics.from_result`).
     """
 
+    #: Initial column capacity of the buffered service block.
+    _INITIAL_BLOCK = 64
+
     def __init__(self, batch: int):
         if batch < 1:
             raise ValueError(f"need batch >= 1, got {batch}")
@@ -96,7 +99,12 @@ class StreamingAggregator:
         self._battery_min = np.full(batch, np.inf)
         self._battery_max = np.full(batch, -np.inf)
         self._replays = [DelayReplay() for _ in range(batch)]
-        self._served_dt_buffer: list[np.ndarray] = []
+        # Preallocated (B, cap) service buffer, grown geometrically —
+        # the slot loop writes one column per slot instead of
+        # allocating a per-slot copy (aggregator scratch stays O(B)
+        # per slot, zero allocations at steady state).
+        self._served_dt_block: np.ndarray | None = None
+        self._buffered = 0
         self._slots_recorded = 0
 
     @property
@@ -110,13 +118,27 @@ class StreamingAggregator:
             sums[name] += values[name]
         backlog = values["backlog"]
         np.maximum(self._peak_backlog, backlog, out=self._peak_backlog)
-        self._final_backlog = np.array(backlog, dtype=float)
+        np.copyto(self._final_backlog, backlog)
         level = values["battery_level"]
         np.minimum(self._battery_min, level, out=self._battery_min)
         np.maximum(self._battery_max, level, out=self._battery_max)
-        self._served_dt_buffer.append(np.array(values["served_dt"],
-                                               dtype=float))
+        block = self._served_dt_block
+        if block is None or self._buffered == block.shape[1]:
+            block = self._grow_block()
+        block[:, self._buffered] = values["served_dt"]
+        self._buffered += 1
         self._slots_recorded += 1
+
+    def _grow_block(self) -> np.ndarray:
+        """Double the buffered-service capacity, keeping buffered data."""
+        old = self._served_dt_block
+        capacity = (self._INITIAL_BLOCK if old is None
+                    else 2 * old.shape[1])
+        block = np.empty((self.batch, capacity))
+        if old is not None and self._buffered:
+            block[:, :self._buffered] = old[:, :self._buffered]
+        self._served_dt_block = block
+        return block
 
     def flush_delays(self, start_slot: int,
                      arrivals_dt: np.ndarray) -> None:
@@ -125,22 +147,24 @@ class StreamingAggregator:
         ``arrivals_dt`` is the ``(B, chunk)`` block of *true*
         delay-tolerant arrivals matching the buffered service slots.
         """
-        if not self._served_dt_buffer:
+        if not self._buffered:
             return
-        served = np.stack(self._served_dt_buffer, axis=1)
-        if served.shape != arrivals_dt.shape:
+        block = self._served_dt_block
+        shape = (self.batch, self._buffered)
+        if arrivals_dt.shape != shape:
             raise ValueError(
                 f"arrivals shape {arrivals_dt.shape} does not match "
-                f"buffered service {served.shape}")
+                f"buffered service {shape}")
         for index, replay in enumerate(self._replays):
-            replay.extend(start_slot, served[index], arrivals_dt[index])
-        self._served_dt_buffer.clear()
+            replay.extend(start_slot, block[index, :self._buffered],
+                          arrivals_dt[index])
+        self._buffered = 0
 
     def sum(self, name: str, index: int) -> float:
         return float(self._sums[name][index])
 
     def delay_stats(self, index: int) -> DelayStats:
-        if self._served_dt_buffer:
+        if self._buffered:
             raise RuntimeError("flush_delays() not called for the "
                                "final chunk")
         return self._replays[index].stats()
@@ -271,7 +295,7 @@ class ScenarioMetrics:
             aggregator.record(**{name: column[slot:slot + 1]
                                  for name, column in columns.items()})
         # The result's delay ledger is authoritative; skip the replay.
-        aggregator._served_dt_buffer.clear()
+        aggregator._buffered = 0
         metrics = aggregator.scenario_metrics(
             0, controller_name=result.controller_name, n_slots=n_slots,
             battery_operations=int(result.battery_operations),
@@ -304,8 +328,9 @@ class StreamingBatchSimulator(BatchSimulator):
 
     def __init__(self, runs: Sequence[StreamRunSpec],
                  controller: BatchController | None = None,
-                 *, chunk_coarse: int = 4, batch_traces: bool = True):
-        self._init_group(runs, controller)
+                 *, chunk_coarse: int = 4, batch_traces: bool = True,
+                 workspace: bool | None = None):
+        self._init_group(runs, controller, workspace=workspace)
         if chunk_coarse < 1:
             raise ValueError(
                 f"chunk_coarse must be >= 1, got {chunk_coarse}")
@@ -352,6 +377,12 @@ class StreamingBatchSimulator(BatchSimulator):
         if tail is not None:
             columns = {name: np.concatenate([tail[name], block], axis=1)
                        for name, block in columns.items()}
+        # Trace columns stay host-side: generation is NumPy by the
+        # seed contract, and the aggregation/capacity/tail paths below
+        # are host arrays too.  This chunk install is the designated
+        # host->device transfer point for a future device-resident
+        # slot loop (ArrayBackend.asarray on the columns plus a
+        # device-side aggregator) — open ROADMAP item, needs hardware.
         self._true_dds = columns["demand_ds"]
         self._true_ddt = columns["demand_dt"]
         self._true_ren = columns["renewable"]
@@ -537,7 +568,10 @@ class StreamingBatchSimulator(BatchSimulator):
 
 def simulate_stream(runs: Sequence[StreamRunSpec],
                     chunk_coarse: int = 4,
-                    batch_traces: bool = True) -> list[ScenarioMetrics]:
+                    batch_traces: bool = True,
+                    workspace: bool | None = None
+                    ) -> list[ScenarioMetrics]:
     """Convenience wrapper mirroring :func:`repro.sim.batch.simulate_many`."""
     return StreamingBatchSimulator(runs, chunk_coarse=chunk_coarse,
-                                   batch_traces=batch_traces).run()
+                                   batch_traces=batch_traces,
+                                   workspace=workspace).run()

@@ -40,6 +40,7 @@ with seed replicas for the aggregation layer to average back out.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field
@@ -76,6 +77,19 @@ STREAMABLE_CONTROLLERS = frozenset({"smartdpss", "impatient", "myopic"})
 
 #: Trace recipe kinds.
 TRACE_KINDS = ("stream", "paper")
+
+
+def spec_content_hash(data: Mapping[str, object]) -> str:
+    """Content hash of a serialized spec (any ``to_dict`` form).
+
+    SHA-256 over the canonical (sorted-keys) JSON, so the hash is
+    stable across dict ordering, processes and sessions.  This is the
+    resumption key: a :class:`~repro.fleet.store.ResultStore` record
+    carrying the same hash proves the exact scenario (system,
+    controller, trace recipe *and* seed) already ran.
+    """
+    payload = json.dumps(data, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
 
 
 def _build_system(preset: str, options: Mapping[str, object]
@@ -189,6 +203,11 @@ class ScenarioSpec:
         """Whether the memory-bounded streamed engine can run this."""
         return (self.trace_kind == "stream"
                 and self.controller_kind in STREAMABLE_CONTROLLERS)
+
+    def spec_hash(self) -> str:
+        """Content hash identifying this exact scenario (see
+        :func:`spec_content_hash`)."""
+        return spec_content_hash(self.to_dict())
 
     def group_key(self) -> tuple:
         """Batch-compatibility key (see ``BatchSimulator`` shape rule).

@@ -7,8 +7,12 @@ A :class:`ResultStore` is a directory holding one JSON-lines file
 
 * a crashed or interrupted sweep keeps every finished shard,
 * concurrent readers see a consistent prefix,
-* re-running a sweep into the same store accumulates more seed
-  replicas instead of clobbering anything.
+* nothing is ever clobbered.  With the runner's default
+  ``resume=True``, re-running a sweep into the same store *skips*
+  scenarios whose spec hash is already recorded (interrupted sweeps
+  resume cheaply); pass ``resume=False`` (CLI ``--no-resume``) to
+  re-execute them and accumulate duplicate seed-replica rows
+  instead — the pre-resumption behavior.
 
 :meth:`ResultStore.sweep_table` folds the records back into the
 familiar :class:`~repro.sim.sweep.SweepTable` — grouping by each
@@ -114,6 +118,48 @@ class ResultStore:
 
     def __len__(self) -> int:
         return sum(1 for _ in self)
+
+    # ------------------------------------------------------------------
+    # Resumption index
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _record_hash(record: Mapping) -> str | None:
+        """The record's scenario hash (recomputed for legacy records).
+
+        Current writers stamp ``spec_hash`` directly; records from
+        before the resumption layer carry only the embedded ``spec``
+        dict, from which the same content hash is derived.
+        """
+        stored = record.get("spec_hash")
+        if stored is not None:
+            return str(stored)
+        spec = record.get("spec")
+        if spec is None:
+            return None
+        from repro.fleet.spec import spec_content_hash
+
+        return spec_content_hash(spec)
+
+    def latest_by_hash(self) -> dict[str, dict]:
+        """Last stored record per scenario hash.
+
+        The resumption index: :class:`~repro.fleet.runner.FleetRunner`
+        skips any spec whose hash appears here and serves its stored
+        record instead of re-executing.  Later records win (a re-run
+        of the same scenario produces an identical record, so the
+        choice is cosmetic).
+        """
+        index: dict[str, dict] = {}
+        for record in self:
+            key = self._record_hash(record)
+            if key is not None:
+                index[key] = record
+        return index
+
+    def spec_hashes(self) -> set[str]:
+        """The set of scenario hashes with at least one stored record."""
+        return set(self.latest_by_hash())
 
     # ------------------------------------------------------------------
     # Aggregation

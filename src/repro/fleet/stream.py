@@ -59,6 +59,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro import rng as rng_mod
 from repro.exceptions import TraceError
 from repro.rng import RngFactory
 from repro.traces.base import TraceBlock, TraceSet
@@ -364,11 +365,17 @@ class _BatchPaperCursor:
     def __init__(self, stream: "BatchTraceStream"):
         self._stream = stream
         batch = stream.n_scenarios
-        rngs: dict[str, list[np.random.Generator]] = {
-            name: [] for name in _SUBSTREAMS}
-        for source in stream.streams:
-            for name, rng in _substream_rngs(source.seed).items():
-                rngs[name].append(rng)
+        if rng_mod.BATCHED_SEEDING:
+            # One vectorized seed-hashing pass for all B x 9 substream
+            # generators — streams bit-identical to the per-generator
+            # construction below (see repro.rng.substream_rngs_batch).
+            rngs = rng_mod.substream_rngs_batch(
+                [source.seed for source in stream.streams], _SUBSTREAMS)
+        else:
+            rngs = {name: [] for name in _SUBSTREAMS}
+            for source in stream.streams:
+                for name, rng in _substream_rngs(source.seed).items():
+                    rngs[name].append(rng)
         self._rngs = rngs
         self._demand_level = np.zeros(batch)
         self._cloud_state = np.full(batch, -1, dtype=np.int64)

@@ -35,6 +35,7 @@ from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro.backend.workspace import PhysicsWorkspace, workspace_enabled
 from repro.config.system import SystemConfig
 from repro.core.interfaces import (
     BatchCoarseObservation,
@@ -238,8 +239,9 @@ class BatchSimulator:
     """
 
     def __init__(self, runs: Sequence[RunSpec],
-                 controller: BatchController | None = None):
-        self._init_group(runs, controller)
+                 controller: BatchController | None = None,
+                 *, workspace: bool | None = None):
+        self._init_group(runs, controller, workspace=workspace)
         n_slots = self._n_slots
         t_slots = self._t_slots
         systems = self.systems
@@ -279,12 +281,15 @@ class BatchSimulator:
         self._capacity = self._stack_capacity()
         self._check_prices()
 
-    def _init_group(self, runs: Sequence, controller) -> None:
+    def _init_group(self, runs: Sequence, controller,
+                    workspace: bool | None = None) -> None:
         """Shape checks, controller selection and parameter stacking.
 
         Shared with the streaming subclass, so it only relies on each
         run's ``system`` and ``controller`` attributes — never on
-        resident trace arrays.
+        resident trace arrays.  ``workspace`` governs both the
+        engine's physics workspace and the auto-built controller's
+        (an explicitly supplied ``controller`` manages its own knob).
         """
         if not runs:
             raise ValueError("need at least one run")
@@ -298,17 +303,21 @@ class BatchSimulator:
                 f"{sorted(shapes)}")
         self.systems = systems
         self.controller = controller if controller is not None \
-            else _default_controller(self.runs)
+            else _default_controller(self.runs, workspace=workspace)
 
         self._n_slots = systems[0].horizon_slots
         self._t_slots = systems[0].fine_slots_per_coarse
         self._batch = len(self.runs)
         self._slot0 = 0
         self._coarse0 = 0
+        self._workspace_flag = workspace
+        self._work: PhysicsWorkspace | None = None
         self._p_grid = np.array([s.p_grid for s in systems])
         self._s_max = np.array([s.s_max for s in systems])
         self._s_dt_max = np.array([s.s_dt_max for s in systems])
         self._waste_penalty = np.array([s.waste_penalty for s in systems])
+        # Hoisted boundary constant: the advance-block cap Pgrid * T.
+        self._block_cap = self._p_grid * self._t_slots
 
     @staticmethod
     def _observed(run: RunSpec) -> TraceSet:
@@ -386,6 +395,11 @@ class BatchSimulator:
             rt_ledger=VecMarketLedger(batch),
             recorder=self._make_recorder(),
             block=np.zeros(batch))
+        # One slot workspace per run (per shard): the physics hot path
+        # reuses these buffers every fine slot instead of allocating.
+        self._work = (PhysicsWorkspace(batch)
+                      if workspace_enabled(self._workspace_flag)
+                      else None)
         self.controller.begin_horizon(systems)
         return state
 
@@ -406,15 +420,32 @@ class BatchSimulator:
                                               backlog, cycles)),
                 dtype=float)
             state.block = np.minimum(np.maximum(0.0, gbef),
-                                     self._p_grid * t_slots)
+                                     self._block_cap)
             state.lt_ledger.record(
                 state.block, self._true_plt[:, coarse - self._coarse0])
 
         cap = self._capacity[:, slot - self._slot0]
-        rate = np.minimum(state.block / t_slots, cap)
-        grid_headroom = np.maximum(0.0, cap - rate)
-
         observed_r = self._obs_ren[:, slot - self._slot0]
+        w = self._work
+        if w is None:
+            rate = np.minimum(state.block / t_slots, cap)
+            grid_headroom = np.maximum(0.0, cap - rate)
+            supply_headroom = np.maximum(
+                0.0, self._s_max - rate - observed_r)
+            budget_left = cycles.remaining
+        else:
+            xp = w.xp
+            rate = xp.divide(state.block, t_slots, out=w.rate)
+            xp.minimum(rate, cap, out=rate)
+            grid_headroom = xp.subtract(cap, rate, out=w.grid_headroom)
+            xp.maximum(0.0, grid_headroom, out=grid_headroom)
+            supply_headroom = xp.subtract(self._s_max, rate,
+                                          out=w.supply_headroom)
+            xp.subtract(supply_headroom, observed_r,
+                        out=supply_headroom)
+            xp.maximum(0.0, supply_headroom, out=supply_headroom)
+            budget_left = cycles.remaining_into(w.budget_left)
+
         grt_request, gamma = self.controller.real_time(
             BatchFineObservation(
                 fine_slot=slot,
@@ -427,17 +458,26 @@ class BatchSimulator:
                 backlog=backlog.backlog,
                 long_term_rate=rate,
                 grid_headroom=grid_headroom,
-                supply_headroom=np.maximum(
-                    0.0, self._s_max - rate - observed_r),
-                cycle_budget_left=cycles.remaining,
+                supply_headroom=supply_headroom,
+                cycle_budget_left=budget_left,
             ))
         grt_request = np.asarray(grt_request, dtype=float)
         gamma = np.asarray(gamma, dtype=float)
-        if np.any(grt_request < 0):
+        if w is None:
+            bad_grt = bool(np.any(grt_request < 0))
+            bad_gamma = bool(np.any(gamma < 0) or np.any(gamma > 1))
+        else:
+            xp.less(grt_request, 0, out=w.m1)
+            bad_grt = bool(w.m1.any())
+            xp.less(gamma, 0, out=w.m1)
+            xp.greater(gamma, 1, out=w.m2)
+            xp.logical_or(w.m1, w.m2, out=w.m1)
+            bad_gamma = bool(w.m1.any())
+        if bad_grt:
             worst = float(grt_request.min())
             raise InfeasibleActionError(
                 f"real-time purchase must be >= 0, got {worst}")
-        if np.any(gamma < 0) or np.any(gamma > 1):
+        if bad_gamma:
             raise ValueError(
                 f"gamma must be in [0, 1], got "
                 f"[{float(gamma.min())}, {float(gamma.max())}]")
@@ -524,12 +564,26 @@ class BatchSimulator:
                       cycles: VecCycleLedger, grid_headroom: np.ndarray,
                       rt_ledger: VecMarketLedger,
                       recorder: BatchRecorder) -> None:
-        """Vector twin of ``Simulator._step_physics`` (one slot)."""
+        """Vector twin of ``Simulator._step_physics`` (one slot).
+
+        With a slot workspace (:attr:`_work`) every temporary lands in
+        a preallocated buffer via the identical elementwise IEEE-754
+        operations — see :func:`_step_physics_ws`; results are
+        bit-identical either way.
+        """
         local = slot - self._slot0
         dds = self._true_dds[:, local]
         ddt = self._true_ddt[:, local]
         renewable = self._true_ren[:, local]
         prt = self._true_prt[:, local]
+        plt = self._true_plt[:, coarse - self._coarse0]
+
+        if self._work is not None:
+            self._step_physics_ws(
+                self._work, slot, rate, grt_request, gamma, battery,
+                backlog, cycles, grid_headroom, rt_ledger, recorder,
+                dds, ddt, renewable, prt, plt)
+            return
 
         # Clamp the real-time purchase to the feeder and supply caps.
         grt = np.minimum(grt_request, grid_headroom)
@@ -582,7 +636,7 @@ class BatchSimulator:
         cost_battery = cycles.record(charge, discharge)
         backlog.step(sdt, ddt)
 
-        cost_lt = rate * self._true_plt[:, coarse - self._coarse0]
+        cost_lt = rate * plt
         cost_waste = waste * self._waste_penalty
         recorder.record(
             cost_lt=cost_lt,
@@ -617,6 +671,132 @@ class BatchSimulator:
             had_backlog=had_backlog,
         ))
 
+    def _step_physics_ws(self, w, slot: int, rate, grt_request, gamma,
+                         battery: VecBattery, backlog: VecBacklog,
+                         cycles: VecCycleLedger, grid_headroom,
+                         rt_ledger: VecMarketLedger, recorder,
+                         dds, ddt, renewable, prt, plt) -> None:
+        """Workspace twin of the allocation-path physics above.
+
+        Every operation mirrors its allocation-path line (same ufunc,
+        same operand order); ``np.where`` selections become a fill
+        plus masked ``copyto`` of the identical branch values.
+        """
+        xp = w.xp
+
+        # Clamp the real-time purchase to the feeder and supply caps.
+        xp.minimum(grt_request, grid_headroom, out=w.grt)
+        xp.subtract(self._s_max, rate, out=w.ta)
+        xp.subtract(w.ta, renewable, out=w.ta)
+        xp.maximum(0.0, w.ta, out=w.ta)
+        xp.minimum(w.grt, w.ta, out=w.grt)
+        cost_rt = rt_ledger.record_into(w.grt, prt, w.cost_rt, w.m1)
+
+        # Renewable curtailment if the bus is over the supply cap.
+        xp.subtract(self._s_max, rate, out=w.ta)
+        xp.subtract(w.ta, w.grt, out=w.ta)
+        xp.maximum(0.0, w.ta, out=w.ta)
+        xp.minimum(renewable, w.ta, out=w.renewable_used)
+        xp.subtract(renewable, w.renewable_used, out=w.curtailed)
+        xp.add(rate, w.grt, out=w.supply)
+        xp.add(w.supply, w.renewable_used, out=w.supply)
+
+        # Service resolution: delay-sensitive first.
+        backlog.has_backlog_into(w.had_backlog)
+        xp.multiply(gamma, backlog.backlog, out=w.sdt_request)
+        xp.minimum(w.sdt_request, self._s_dt_max, out=w.sdt_request)
+        cycles.remaining_into(w.ta)
+        xp.equal(w.ta, 0.0, out=w.m1)
+        xp.logical_not(w.m1, out=w.allowed)
+
+        xp.add(dds, w.sdt_request, out=w.desired)
+        xp.subtract(w.desired, 1e-12, out=w.ta)
+        xp.greater_equal(w.supply, w.ta, out=w.surplus_branch)
+
+        xp.subtract(w.supply, w.desired, out=w.surplus)
+        xp.maximum(0.0, w.surplus, out=w.surplus)
+        xp.less(w.surplus, 1e-12, out=w.m1)
+        xp.copyto(w.surplus, 0.0, where=w.m1)
+        xp.greater(w.surplus, 0.0, out=w.m1)
+        xp.logical_and(w.surplus_branch, w.allowed, out=w.m2)
+        xp.logical_and(w.m2, w.m1, out=w.m2)
+        xp.copyto(w.charge_request, 0.0)
+        xp.copyto(w.charge_request, w.surplus, where=w.m2)
+
+        xp.subtract(w.desired, w.supply, out=w.need)
+        battery.available_into(w.discharge_cap)
+        xp.logical_not(w.allowed, out=w.not_allowed)
+        xp.copyto(w.discharge_cap, 0.0, where=w.not_allowed)
+        xp.greater_equal(w.discharge_cap, w.need, out=w.full_cover)
+        xp.add(w.supply, w.discharge_cap, out=w.covered)
+        xp.copyto(w.discharge_request, w.discharge_cap)
+        xp.copyto(w.discharge_request, w.need, where=w.full_cover)
+        xp.copyto(w.discharge_request, 0.0, where=w.surplus_branch)
+        xp.logical_or(w.surplus_branch, w.full_cover,
+                      out=w.served_whole)
+        xp.greater_equal(w.covered, dds, out=w.covers_ds)
+        xp.subtract(w.covered, dds, out=w.ta)
+        xp.copyto(w.sdt, 0.0)
+        xp.copyto(w.sdt, w.ta, where=w.covers_ds)
+        xp.copyto(w.sdt, w.sdt_request, where=w.served_whole)
+        xp.subtract(dds, w.covered, out=w.ta)
+        xp.copyto(w.unserved, 0.0)
+        xp.logical_or(w.covers_ds, w.served_whole, out=w.m1)
+        xp.logical_not(w.m1, out=w.m1)
+        xp.copyto(w.unserved, w.ta, where=w.m1)
+
+        # Battery settlement (in place; see VecBattery.settle_into).
+        charge = battery.settle_into(w.charge_request,
+                                     w.discharge_request,
+                                     w.accepted, w.tb)
+        discharge = w.discharge_request
+        xp.subtract(w.surplus, charge, out=w.ta)
+        xp.copyto(w.waste, 0.0)
+        xp.copyto(w.waste, w.ta, where=w.surplus_branch)
+
+        cost_battery = cycles.record_into(charge, discharge,
+                                          w.cost_battery, w.m1, w.m2)
+        backlog.step_into(w.sdt, ddt, w.ta)
+
+        xp.multiply(rate, plt, out=w.cost_lt)
+        xp.multiply(w.waste, self._waste_penalty, out=w.cost_waste)
+        xp.add(w.cost_lt, cost_rt, out=w.cost_total)
+        xp.add(w.cost_total, cost_battery, out=w.cost_total)
+        xp.add(w.cost_total, w.cost_waste, out=w.cost_total)
+        xp.subtract(dds, w.unserved, out=w.served_ds)
+        recorder.record(
+            cost_lt=w.cost_lt,
+            cost_rt=cost_rt,
+            cost_battery=cost_battery,
+            cost_waste=w.cost_waste,
+            cost_total=w.cost_total,
+            gbef_rate=rate,
+            grt=w.grt,
+            renewable_used=w.renewable_used,
+            renewable_curtailed=w.curtailed,
+            served_ds=w.served_ds,
+            served_dt=w.sdt,
+            unserved_ds=w.unserved,
+            charge=charge,
+            discharge=discharge,
+            battery_level=battery.level,
+            waste=w.waste,
+            backlog=backlog.backlog,
+            gamma=gamma,
+        )
+        self.controller.end_slot(BatchSlotFeedback(
+            fine_slot=slot,
+            served_dt=w.sdt,
+            served_ds=w.served_ds,
+            unserved_ds=w.unserved,
+            charge=charge,
+            discharge=discharge,
+            waste=w.waste,
+            battery_level=battery.level,
+            backlog=backlog.backlog,
+            had_backlog=w.had_backlog,
+        ))
+
     def _collect(self, recorder: BatchRecorder, cycles: VecCycleLedger,
                  lt_ledger: VecMarketLedger, rt_ledger: VecMarketLedger
                  ) -> list[SimulationResult]:
@@ -645,11 +825,16 @@ class BatchSimulator:
 # ----------------------------------------------------------------------
 
 
-def _default_controller(runs: Sequence[RunSpec]) -> BatchController:
-    """Pick the vectorized controller when every run is SmartDPSS."""
+def _default_controller(runs: Sequence[RunSpec],
+                        workspace: bool | None = None) -> BatchController:
+    """Pick the vectorized controller when every run is SmartDPSS.
+
+    ``workspace`` forwards the engine's slot-workspace knob so one
+    flag governs the whole hot path (physics *and* controller).
+    """
     controllers = _distinct_controllers(runs)
     if all(type(c) is SmartDPSS for c in controllers):
-        return VecSmartDPSS(controllers)
+        return VecSmartDPSS(controllers, workspace=workspace)
     return ScalarControllerBatch(controllers)
 
 
@@ -691,21 +876,24 @@ def _run_spec_scalar(spec: RunSpec) -> SimulationResult:
                      grid_capacity=spec.grid_capacity).run()
 
 
-def run_group_batch(group_runs: Sequence[RunSpec]) -> list[SimulationResult]:
+def run_group_batch(group_runs: Sequence[RunSpec],
+                    workspace: bool | None = None
+                    ) -> list[SimulationResult]:
     """Drive one compatible group through the vectorized engine.
 
     Deduplicates shared controller objects first (scalar sweeps may
     legally reuse one instance across runs) and falls back to the
     scalar engine for singleton groups, exactly as the ``"batch"``
     executor does — the process-sharded path reuses this so both
-    executors stay bit-identical.
+    executors stay bit-identical.  ``workspace`` forwards to
+    :class:`BatchSimulator` (``None`` = the module default).
     """
     if len(group_runs) == 1:
         return [_run_spec_scalar(group_runs[0])]
     specs = [RunSpec(system=r.system, controller=c, traces=r.traces,
                      observed=r.observed, grid_capacity=r.grid_capacity)
              for r, c in zip(group_runs, _distinct_controllers(group_runs))]
-    return BatchSimulator(specs).run()
+    return BatchSimulator(specs, workspace=workspace).run()
 
 
 def simulate_many(runs: Sequence[RunSpec], executor: str = "batch",

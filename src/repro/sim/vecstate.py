@@ -29,6 +29,7 @@ from collections import deque
 
 import numpy as np
 
+from repro.backend import current_xp
 from repro.sim.recorder import SERIES_NAMES
 from repro.workload.queue import DelayStats
 
@@ -115,6 +116,41 @@ class VecBattery:
                                 - self.eta_d * discharge_request)
         return accepted
 
+    def settle_into(self, charge_request: np.ndarray,
+                    discharge_request: np.ndarray,
+                    accepted: np.ndarray,
+                    scratch: np.ndarray) -> np.ndarray:
+        """Workspace twin of :meth:`settle` (no allocations).
+
+        Writes the accepted charge into ``accepted`` (returned) and
+        mutates :attr:`level` in place with the identical elementwise
+        operations, so settled levels are bit-for-bit the allocating
+        path's.
+        """
+        xp = current_xp()
+        # headroom, inlined: min(b_charge_max, max(0, b_max - level)/eta_c)
+        xp.subtract(self.b_max, self.level, out=scratch)
+        xp.maximum(0.0, scratch, out=scratch)
+        xp.divide(scratch, self.eta_c, out=scratch)
+        xp.minimum(self.b_charge_max, scratch, out=scratch)
+        xp.minimum(charge_request, scratch, out=accepted)
+        xp.multiply(self.eta_c, accepted, out=scratch)
+        xp.add(self.level, scratch, out=self.level)
+        xp.minimum(self.b_max, self.level, out=self.level)
+        xp.multiply(self.eta_d, discharge_request, out=scratch)
+        xp.subtract(self.level, scratch, out=self.level)
+        xp.maximum(self.b_min, self.level, out=self.level)
+        return accepted
+
+    def available_into(self, out: np.ndarray) -> np.ndarray:
+        """:attr:`available`, written into ``out`` (no allocations)."""
+        xp = current_xp()
+        xp.subtract(self.level, self.b_min, out=out)
+        xp.maximum(0.0, out, out=out)
+        xp.divide(out, self.eta_d, out=out)
+        xp.minimum(self.b_discharge_max, out, out=out)
+        return out
+
 
 class VecBacklog:
     """``B`` scalar backlog queues ``Q`` (paper eq. 2) in array form.
@@ -135,6 +171,20 @@ class VecBacklog:
         """Serve then admit, exactly as ``BacklogQueue.step``."""
         to_serve = np.minimum(service, self.backlog)
         self.backlog = np.maximum(0.0, self.backlog - to_serve) + arrivals
+
+    def step_into(self, service: np.ndarray, arrivals: np.ndarray,
+                  scratch: np.ndarray) -> None:
+        """Workspace twin of :meth:`step` (mutates in place)."""
+        xp = current_xp()
+        xp.minimum(service, self.backlog, out=scratch)
+        xp.subtract(self.backlog, scratch, out=self.backlog)
+        xp.maximum(0.0, self.backlog, out=self.backlog)
+        xp.add(self.backlog, arrivals, out=self.backlog)
+
+    def has_backlog_into(self, out: np.ndarray) -> np.ndarray:
+        """:attr:`has_backlog`, written into ``out``."""
+        current_xp().greater(self.backlog, _Q_TOLERANCE, out=out)
+        return out
 
 
 class VecCycleLedger:
@@ -165,12 +215,33 @@ class VecCycleLedger:
             return None
         return int(self.remaining[index])
 
+    def remaining_into(self, out: np.ndarray) -> np.ndarray:
+        """:attr:`remaining`, written into ``out`` (no allocations)."""
+        xp = current_xp()
+        xp.subtract(self.budget, self.operations, out=out)
+        xp.maximum(0.0, out, out=out)
+        return out
+
     def record(self, charge: np.ndarray,
                discharge: np.ndarray) -> np.ndarray:
         """Account one slot; returns the per-scenario dollar cost."""
         active = (charge > 0) | (discharge > 0)
         self.operations += active
         return np.where(active, self.op_cost, 0.0)
+
+    def record_into(self, charge: np.ndarray, discharge: np.ndarray,
+                    cost: np.ndarray, mask_a: np.ndarray,
+                    mask_b: np.ndarray) -> np.ndarray:
+        """Workspace twin of :meth:`record` → per-scenario cost in
+        ``cost`` (``mask_a`` / ``mask_b`` are boolean scratch)."""
+        xp = current_xp()
+        xp.greater(charge, 0, out=mask_a)
+        xp.greater(discharge, 0, out=mask_b)
+        xp.logical_or(mask_a, mask_b, out=mask_a)
+        xp.add(self.operations, mask_a, out=self.operations)
+        xp.copyto(cost, 0.0)
+        xp.copyto(cost, self.op_cost, where=mask_a)
+        return cost
 
 
 class VecMarketLedger:
@@ -186,6 +257,21 @@ class VecMarketLedger:
         positive = energy > 0
         self.energy += np.where(positive, energy, 0.0)
         self.spend += np.where(positive, cost, 0.0)
+        return cost
+
+    def record_into(self, energy: np.ndarray, price: np.ndarray,
+                    cost: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Workspace twin of :meth:`record` → cost written to ``cost``.
+
+        Masked in-place accumulation: lanes with non-positive energy
+        keep their running totals untouched, which equals adding the
+        allocating path's zero (the accumulators never hold ``-0.0``).
+        """
+        xp = current_xp()
+        xp.multiply(energy, price, out=cost)
+        xp.greater(energy, 0, out=mask)
+        xp.add(self.energy, energy, out=self.energy, where=mask)
+        xp.add(self.spend, cost, out=self.spend, where=mask)
         return cost
 
 

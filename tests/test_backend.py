@@ -1,0 +1,363 @@
+"""Backend registry, slot workspaces, batched seeding, cache hygiene.
+
+The optional-backend tests (CuPy/JAX) carry the ``backend`` marker and
+skip cleanly when the library is absent — the default install stays
+NumPy-only by policy (see ``repro/backend/__init__.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.backend as backend_mod
+from repro import clear_caches
+from repro.backend import (
+    ArrayBackend,
+    BackendUnavailableError,
+    active_backend,
+    available_backends,
+    current_xp,
+    set_backend,
+    use_backend,
+    xp,
+)
+from repro.backend.workspace import (
+    WORKSPACE_DEFAULT,
+    P5Workspace,
+    PhysicsWorkspace,
+    RealTimeWorkspace,
+    workspace_enabled,
+)
+from repro.caches import cache_sizes
+from repro.exceptions import ConfigurationError
+from repro.rng import (
+    batch_seed_states,
+    make_rng,
+    substream_rngs_batch,
+)
+
+
+@pytest.fixture(autouse=True)
+def _numpy_backend():
+    """Pin the default backend and restore it around every test."""
+    previous = backend_mod._active
+    set_backend("numpy")
+    yield
+    backend_mod._active = previous
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+def test_default_backend_is_numpy():
+    backend = active_backend()
+    assert backend.name == "numpy"
+    assert backend.mutable
+    assert backend.xp is np
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ConfigurationError, match="unknown backend"):
+        set_backend("tensorflow")
+
+
+def test_unavailable_backend_message_names_extra():
+    report = available_backends()
+    assert report["numpy"] is None
+    for name in ("cupy", "jax"):
+        if report[name] is not None:
+            assert f"repro[{name}]" in report[name]
+            with pytest.raises(BackendUnavailableError):
+                set_backend(name)
+
+
+def test_use_backend_restores_previous():
+    before = active_backend()
+    with use_backend("numpy") as backend:
+        assert active_backend() is backend
+    assert active_backend() is before
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(backend_mod.ENV_VAR, "numpy")
+    backend_mod._active = None
+    assert active_backend().name == "numpy"
+    monkeypatch.setenv(backend_mod.ENV_VAR, "no-such-backend")
+    backend_mod._active = None
+    with pytest.raises(ConfigurationError):
+        active_backend()
+
+
+def test_xp_proxy_follows_active_backend():
+    assert xp.minimum is np.minimum
+    assert current_xp() is np
+
+
+def test_asarray_roundtrip_no_copy():
+    backend = active_backend()
+    array = np.arange(4.0)
+    assert backend.asarray(array) is array
+    assert np.array_equal(backend.to_numpy([1.0, 2.0]), [1.0, 2.0])
+    backend.synchronize()  # host no-op
+
+
+def test_import_repro_never_requires_optional_backends():
+    # The adapters are lazy: merely importing the package and using
+    # the default backend must not import cupy/jax.  The sys.modules
+    # snapshot is taken BEFORE touching the backend registry's probe
+    # helpers (available_backends would import any installed backend).
+    import sys
+
+    import repro  # noqa: F401 - the import is the assertion's subject
+
+    assert active_backend().name == "numpy"
+    active_backend().asarray(np.zeros(2))
+    imported_by_repro = {name for name in ("cupy", "jax")
+                         if name in sys.modules}
+    assert not imported_by_repro, (
+        f"importing repro (or using the numpy backend) pulled in "
+        f"{sorted(imported_by_repro)} — the adapters must stay lazy")
+
+
+# ----------------------------------------------------------------------
+# Workspace gating
+# ----------------------------------------------------------------------
+
+
+def test_workspace_enabled_resolution():
+    assert WORKSPACE_DEFAULT is True
+    assert workspace_enabled(None) is True
+    assert workspace_enabled(True) is True
+    assert workspace_enabled(False) is False
+    immutable = ArrayBackend("fake", np, mutable=False,
+                             asarray=np.asarray, to_numpy=np.asarray)
+    assert workspace_enabled(None, backend=immutable) is False
+    assert workspace_enabled(True, backend=immutable) is False
+
+
+def test_workspace_buffers_shapes():
+    p5 = P5Workspace(batch=5, n_candidates=17)
+    assert p5.grt.shape == (17, 5)
+    assert p5.valid.dtype == bool
+    assert bool(p5.valid[0].all()) and bool(p5.valid[16].all())
+    assert float(abs(p5.grt[0]).sum()) == 0.0
+    rt = RealTimeWorkspace(batch=5)
+    assert rt.price_n.shape == (5,)
+    phys = PhysicsWorkspace(batch=5)
+    assert phys.rate.shape == (5,)
+    assert phys.m1.dtype == bool
+
+
+def test_engine_workspace_knob_governs_auto_built_controller():
+    """``workspace=False`` must disable the controller's buffers too.
+
+    The knob's contract is "the allocation-style reference path": the
+    engine forwards it into the ``VecSmartDPSS`` it builds, so one
+    flag controls the whole hot path.
+    """
+    from repro.config.presets import (
+        paper_controller_config,
+        paper_system_config,
+    )
+    from repro.core.smartdpss import SmartDPSS
+    from repro.sim.batch import BatchSimulator, RunSpec
+    from repro.traces.library import make_paper_traces
+
+    system = paper_system_config(days=2)
+    runs = [RunSpec(system=system,
+                    controller=SmartDPSS(paper_controller_config(v=1.0)),
+                    traces=make_paper_traces(system, seed=seed))
+            for seed in range(2)]
+    plain = BatchSimulator(runs, workspace=False)
+    plain._begin_run()
+    assert plain._work is None
+    assert plain.controller._work_p5 is None
+    assert plain.controller._work_rt is None
+    fast = BatchSimulator(runs, workspace=True)
+    fast._begin_run()
+    assert fast._work is not None
+    assert fast.controller._work_p5 is not None
+
+
+def test_p5_workspace_rejects_wrong_batch():
+    from repro.config.control import ObjectiveMode
+    from repro.core.p5_vec import BatchSlotState, solve_p5_batch
+
+    n = 3
+    fields = {name: np.zeros(n) for name in (
+        "q_hat", "y_hat", "x_hat", "v", "price_rt", "battery_op_cost",
+        "waste_penalty", "backlog", "gbef_rate", "renewable",
+        "demand_ds", "charge_cap", "discharge_cap", "eta_c", "eta_d",
+        "s_dt_max", "grt_cap", "battery_margin")}
+    state = BatchSlotState(**fields)
+    with pytest.raises(ValueError, match="workspace sized"):
+        solve_p5_batch(state, ObjectiveMode.DERIVED,
+                       work=P5Workspace(batch=4, n_candidates=17))
+
+
+# ----------------------------------------------------------------------
+# Bounded caches + clear hook
+# ----------------------------------------------------------------------
+
+
+def test_lane_cache_bounded():
+    from repro.core import p5_vec
+
+    p5_vec._LANE_CACHE.clear()
+    for n in range(1, 4 * p5_vec._LANE_CACHE_MAX):
+        p5_vec._lanes(n)
+    assert len(p5_vec._LANE_CACHE) <= p5_vec._LANE_CACHE_MAX
+    # Fresh entries resolve correctly after eviction.
+    assert np.array_equal(p5_vec._lanes(2), np.arange(2))
+
+
+def test_step_cache_bounded():
+    from repro.core import p4
+
+    p4._STEP_CACHE.clear()
+    for n in range(1, 4 * p4._STEP_CACHE_MAX):
+        p4._steps(n)
+    assert len(p4._STEP_CACHE) <= p4._STEP_CACHE_MAX
+    assert np.array_equal(p4._steps(3), np.arange(3.0))
+
+
+def test_clear_caches_empties_every_registered_cache():
+    from repro.config.presets import paper_system_config
+    from repro.core import p4, p5_vec
+    from repro.fleet.spec import ScenarioSpec
+    from repro.traces.library import make_paper_traces
+
+    # Populate each cache.
+    p5_vec._lanes(7)
+    p4._steps(7)
+    ScenarioSpec(controller={"kind": "smartdpss", "v": 1.25}) \
+        .build_system()
+    make_paper_traces(paper_system_config(days=1), seed=5)
+    sizes = cache_sizes()
+    assert sizes["p5_vec.lane"] >= 1
+    assert sizes["p4.steps"] >= 1
+    assert sizes["fleet.spec.system"] >= 1
+    assert sizes["traces.solar.clear_sky"] >= 1
+
+    clear_caches()
+    assert all(size == 0 for size in cache_sizes().values())
+
+
+# ----------------------------------------------------------------------
+# Batched seeding
+# ----------------------------------------------------------------------
+
+
+def test_batch_seed_states_matches_numpy_seedsequence():
+    rng = np.random.default_rng(11)
+    seeds = [0, 1, 2, 0xffffffff, 0x100000000, 2**63 - 1, 2**64 - 1]
+    seeds += [int(s) for s in rng.integers(0, 2**63, 64,
+                                           dtype=np.uint64)]
+    states = batch_seed_states(np.array(seeds, dtype=np.uint64))
+    for row, seed in zip(states, seeds):
+        reference = np.random.SeedSequence(seed).generate_state(
+            4, np.uint64)
+        assert np.array_equal(row, reference), seed
+
+
+def test_substream_rngs_batch_streams_identical_to_make_rng():
+    roots = [0, 3, 20130708, 2**62 + 17]
+    names = ["stream:demand_ds", "stream:price_rt:spikes"]
+    batched = substream_rngs_batch(roots, names)
+    for index, root in enumerate(roots):
+        for name in names:
+            reference = make_rng(root, name)
+            candidate = batched[name][index]
+            assert np.array_equal(reference.standard_normal(32),
+                                  candidate.standard_normal(32))
+            assert np.array_equal(reference.poisson(2.5, 8),
+                                  candidate.poisson(2.5, 8))
+
+
+def test_substream_rngs_batch_empty():
+    assert substream_rngs_batch([], ["a"]) == {"a": []}
+
+
+def test_batch_seed_states_validates_shape():
+    with pytest.raises(ValueError, match="1-D"):
+        batch_seed_states(np.zeros((2, 2), dtype=np.uint64))
+
+
+def test_batch_cursor_seeding_flag_is_bit_identical():
+    from repro import rng as rng_mod
+    from repro.fleet.stream import BatchTraceStream, StreamingPaperTraces
+
+    streams = [StreamingPaperTraces(n_slots=48, seed=seed)
+               for seed in (1, 2, 3)]
+    source = BatchTraceStream(streams)
+    blocks = {}
+    for flag in (True, False):
+        rng_mod.BATCHED_SEEDING = flag
+        try:
+            blocks[flag] = source.open().read(48)
+        finally:
+            rng_mod.BATCHED_SEEDING = True
+    for name in ("demand_ds", "demand_dt", "renewable", "price_rt",
+                 "price_lt_hourly"):
+        assert np.array_equal(getattr(blocks[True], name),
+                              getattr(blocks[False], name))
+
+
+# ----------------------------------------------------------------------
+# Optional backends (clean skips without the libraries)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.backend
+def test_cupy_backend_roundtrip():
+    pytest.importorskip("cupy")
+    with use_backend("cupy") as backend:
+        assert backend.mutable
+        device = backend.asarray(np.arange(3.0))
+        host = backend.to_numpy(device)
+        assert np.array_equal(host, np.arange(3.0))
+        backend.synchronize()
+
+
+@pytest.mark.backend
+def test_jax_backend_is_immutable_namespace():
+    pytest.importorskip("jax")
+    with use_backend("jax") as backend:
+        assert not backend.mutable
+        assert workspace_enabled(None) is False
+        total = backend.xp.add(backend.asarray([1.0, 2.0]),
+                               backend.asarray([3.0, 4.0]))
+        assert np.array_equal(backend.to_numpy(total), [4.0, 6.0])
+
+
+@pytest.mark.backend
+def test_p5_kernel_runs_on_optional_backend():
+    """The allocation-style P5 kernel is namespace-agnostic."""
+    installed = [name for name in ("cupy", "jax")
+                 if available_backends()[name] is None]
+    if not installed:
+        pytest.skip("no optional array backend installed")
+    from repro.config.control import ObjectiveMode
+    from repro.core.p5_vec import BatchSlotState, solve_p5_batch
+
+    rng = np.random.default_rng(0)
+    host_fields = {name: rng.uniform(0.1, 2.0, 6) for name in (
+        "q_hat", "y_hat", "x_hat", "v", "price_rt", "battery_op_cost",
+        "waste_penalty", "backlog", "gbef_rate", "renewable",
+        "demand_ds", "charge_cap", "discharge_cap", "eta_c", "eta_d",
+        "s_dt_max", "grt_cap", "battery_margin")}
+    reference = solve_p5_batch(BatchSlotState(**host_fields),
+                               ObjectiveMode.DERIVED)
+    for name in installed:
+        with use_backend(name) as backend:
+            fields = {key: backend.asarray(value)
+                      for key, value in host_fields.items()}
+            grt, gamma = solve_p5_batch(BatchSlotState(**fields),
+                                        ObjectiveMode.DERIVED)
+            np.testing.assert_allclose(backend.to_numpy(grt),
+                                       reference[0], rtol=1e-12)
+            np.testing.assert_allclose(backend.to_numpy(gamma),
+                                       reference[1], rtol=1e-12)
