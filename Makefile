@@ -5,7 +5,7 @@ PY := PYTHONPATH=src python
 
 .PHONY: test test-fast test-equivalence test-backend bench-smoke \
 	bench-batch bench-fleet bench-traces bench-plan bench-backend \
-	benchmarks
+	bench-offline benchmarks
 
 # Tier-1 verify: the full suite, fail-fast.
 test:
@@ -55,6 +55,12 @@ bench-plan:
 # record skips when absent); writes BENCH_backend.json.
 bench-backend:
 	$(PY) benchmarks/bench_backend.py
+
+# Offline baseline at fleet scale: batched structure-stamped LP
+# solves + one vectorized plan replay, gated on batched == scalar;
+# writes BENCH_offline.json.
+bench-offline:
+	$(PY) benchmarks/bench_offline.py
 
 # Figure-regeneration benchmarks (pytest-benchmark suite).
 benchmarks:

@@ -52,6 +52,17 @@ class UnboundedProblemError(SolverError):
     """A linear program was proven unbounded."""
 
 
+class IterationLimitError(SolverError):
+    """The solver hit its iteration limit before reaching optimality.
+
+    Unlike infeasibility/unboundedness this is not a statement about
+    the model — the returned point is simply not proven optimal, so
+    treating it as a solution would silently corrupt the offline
+    benchmark.  The remedy is a larger iteration limit or a smaller
+    instance, both named in the message.
+    """
+
+
 class TraceError(ReproError):
     """A trace is malformed (wrong length, negative power, NaNs...)."""
 

@@ -108,7 +108,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     runner = FleetRunner(specs, batch_size=args.batch_size,
                          chunk_coarse=args.chunk_coarse,
                          max_workers=args.workers, store=store,
-                         resume=not args.no_resume)
+                         resume=not args.no_resume,
+                         offline_gap=args.offline_gap)
 
     t0 = time.perf_counter()
 
@@ -133,8 +134,15 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.out)
-    metrics = (tuple(args.metrics.split(","))
-               if args.metrics else DEFAULT_TABLE_METRICS)
+    if args.metrics:
+        metrics = tuple(args.metrics.split(","))
+    else:
+        metrics = DEFAULT_TABLE_METRICS
+        # Offline-gap columns are optional per run; show them whenever
+        # every stored record carries them.
+        present = store.metric_columns()
+        metrics += tuple(name for name in ("offline_cost", "offline_gap")
+                         if name in present)
     table = store.sweep_table(name=f"fleet report ({store.root})",
                               metrics=metrics)
     print(table.render())
@@ -173,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
                      default=DEFAULT_CHUNK_COARSE,
                      help="coarse slots of trace data resident per "
                           "scenario")
+    run.add_argument("--offline-gap", action="store_true",
+                     help="solve the clairvoyant offline baseline per "
+                          "scenario (batched LP) and record "
+                          "offline_cost/offline_gap columns")
     run.add_argument("--no-resume", action="store_true",
                      help="re-execute scenarios whose spec hash is "
                           "already stored (default: skip them and "

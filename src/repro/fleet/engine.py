@@ -260,11 +260,20 @@ class ScenarioMetrics:
     lt_energy: float
     rt_energy: float
     seed: int | None = None
+    #: Replayed cost of the clairvoyant offline plan on this scenario's
+    #: traces, and the policy's relative gap against it.  ``None``
+    #: unless the fleet run asked for the offline-gap column; omitted
+    #: from :meth:`as_dict` when absent so existing records keep their
+    #: shape.
+    offline_cost: float | None = None
+    offline_gap: float | None = None
 
     def as_dict(self) -> dict:
         """JSON-ready form (what the result store persists)."""
         out = {}
         for name, value in self.__dict__.items():
+            if name in ("offline_cost", "offline_gap") and value is None:
+                continue
             if isinstance(value, (np.floating, np.integer)):
                 value = value.item()
             out[name] = value

@@ -29,17 +29,24 @@ import math
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from typing import Callable, Iterable, Sequence
 
+from repro.baselines.offline import (
+    OfflineOptimal,
+    OfflinePlanBatch,
+    solve_offline_plan_batch,
+)
 from repro.fleet.engine import (
     ScenarioMetrics,
     StreamingBatchSimulator,
     StreamRunSpec,
 )
 from repro.fleet.spec import ScenarioSpec
+from repro.fleet.stream import ArrayTraceStream
 from repro.sim.batch import RunSpec, run_group_batch
 from repro.sim.results import SimulationResult
+from repro.traces.base import TraceBlock, TraceSet
 
 #: Default scenarios per engine invocation (one vectorized batch).
 #: 256 amortizes per-op ufunc dispatch ~4x better than the previous 64
@@ -77,6 +84,51 @@ class ShardOutcome:
     elapsed_s: float
 
 
+def _attach_offline_gap(systems: "list", traces_list: "list[TraceSet]",
+                        metrics: "list[ScenarioMetrics]",
+                        chunk_coarse: int,
+                        workspace: bool | None
+                        ) -> "list[ScenarioMetrics]":
+    """Add the offline-gap columns to one shard's metrics.
+
+    Solves the clairvoyant LP for every scenario through the batched
+    structure-stamping path (grouped by system configuration — one
+    compiled structure per distinct system), replays all plans through
+    the vectorized engine in a single pass, and reports the replayed
+    offline cost plus the policy's relative gap against it.  The
+    replayed cost record is bit-identical to replaying each plan
+    through the scalar engine (the equivalence tests pin this), so the
+    gap column is an honest same-accounting comparison, not an
+    LP-objective shortcut.
+    """
+    by_system: dict[object, list[int]] = {}
+    for index, system in enumerate(systems):
+        by_system.setdefault(system, []).append(index)
+    plans = [None] * len(systems)
+    for system, indices in by_system.items():
+        block = TraceBlock.from_tracesets(
+            [traces_list[i] for i in indices])
+        for i, plan in zip(indices,
+                           solve_offline_plan_batch(system, block)):
+            plans[i] = plan
+    runs = [StreamRunSpec(system=systems[i],
+                          controller=OfflineOptimal(None, plan=plans[i]),
+                          stream=ArrayTraceStream(traces_list[i]))
+            for i in range(len(systems))]
+    replay = StreamingBatchSimulator(
+        runs, controller=OfflinePlanBatch(plans),
+        chunk_coarse=chunk_coarse, workspace=workspace).run()
+    out = []
+    for metric, offline in zip(metrics, replay):
+        offline_cost = float(offline.time_avg_cost)
+        policy_cost = float(metric.time_avg_cost)
+        gap = ((policy_cost - offline_cost) / abs(offline_cost)
+               if abs(offline_cost) > 0 else 0.0)
+        out.append(dataclass_replace(metric, offline_cost=offline_cost,
+                                     offline_gap=gap))
+    return out
+
+
 def _run_spec_shard(payload: dict) -> ShardOutcome:
     """Module-level worker: run one shard of serialized specs.
 
@@ -84,22 +136,39 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
     advances the whole shard through one engine invocation.  Returns
     JSON-ready records so the parent can append them to the store
     without touching numpy state.
+
+    With ``offline_gap`` the shard's trace windows are materialized up
+    front and shared between the policy run and the offline baseline —
+    the gap column then costs one compiled LP solve plus one vectorized
+    replay per scenario, not a second trace generation.
     """
     t0 = time.perf_counter()
     specs = [ScenarioSpec.from_dict(data) for data in payload["specs"]]
     chunk_coarse = int(payload["chunk_coarse"])
     streamable = bool(payload["streamable"])
     batch_traces = bool(payload.get("batch_traces", True))
+    offline_gap = bool(payload.get("offline_gap", False))
     workspace = payload.get("workspace")
 
+    systems = []
+    traces_list: list[TraceSet] = []
     if streamable:
         runs = []
         for spec in specs:
             system = spec.build_system()
+            systems.append(system)
+            if offline_gap:
+                # Materialize once; the policy streams over array
+                # views of the same window the LP will consume.
+                traces = spec.build_traces(system)
+                traces_list.append(traces)
+                stream = ArrayTraceStream(traces)
+            else:
+                stream = spec.open_stream(system)
             runs.append(StreamRunSpec(
                 system=system,
                 controller=spec.build_controller(),
-                stream=spec.open_stream(system)))
+                stream=stream))
         metrics = StreamingBatchSimulator(
             runs, chunk_coarse=chunk_coarse,
             batch_traces=batch_traces, workspace=workspace).run()
@@ -109,6 +178,8 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
         for spec in specs:
             system = spec.build_system()
             traces = spec.build_traces(system)
+            systems.append(system)
+            traces_list.append(traces)
             run_specs.append(RunSpec(
                 system=system,
                 controller=spec.build_controller(traces),
@@ -117,6 +188,10 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
         metrics = [ScenarioMetrics.from_result(result, seed=spec.seed)
                    for spec, result in zip(specs, results)]
         engine = "batch"
+
+    if offline_gap:
+        metrics = _attach_offline_gap(systems, traces_list, metrics,
+                                      chunk_coarse, workspace)
 
     records = tuple(
         {
@@ -175,6 +250,13 @@ class FleetRunner:
         Per-shard slot-workspace knob forwarded to the engines
         (``None`` follows
         :data:`repro.backend.workspace.WORKSPACE_DEFAULT`).
+    offline_gap:
+        Compute the clairvoyant offline baseline per scenario and add
+        ``offline_cost`` / ``offline_gap`` columns to every record.
+        Each shard solves the offline LP through the batched
+        structure-stamping path and replays the plans through the
+        vectorized engine, so the column costs roughly one small LP
+        solve per scenario on top of the policy run.
     """
 
     def __init__(self, specs: Iterable[ScenarioSpec], *,
@@ -183,7 +265,8 @@ class FleetRunner:
                  max_workers: int | None = None,
                  store=None, resume: bool = True,
                  batch_traces: bool = True,
-                 workspace: bool | None = None):
+                 workspace: bool | None = None,
+                 offline_gap: bool = False):
         self.specs = list(specs)
         if not self.specs:
             raise ValueError("fleet has no scenarios")
@@ -196,6 +279,7 @@ class FleetRunner:
         self.resume = resume
         self.batch_traces = batch_traces
         self.workspace = workspace
+        self.offline_gap = offline_gap
         self._payloads: list[dict] | None = None
 
     # ------------------------------------------------------------------
@@ -218,6 +302,7 @@ class FleetRunner:
                     "streamable": bool(key[-1]),
                     "batch_traces": self.batch_traces,
                     "workspace": self.workspace,
+                    "offline_gap": self.offline_gap,
                 })
         return payloads
 

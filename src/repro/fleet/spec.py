@@ -20,6 +20,10 @@ Spec layout
     ``smartdpss`` are :class:`~repro.config.control.SmartDPSSConfig`
     fields.  ``lookahead`` / ``offline`` are oracle policies that need
     the whole horizon up front, so they force the in-memory engine.
+    ``offline`` options mirror
+    :class:`~repro.baselines.offline.OfflineOptimal` — notably
+    ``deadline_slots`` is ``int >= 1`` or ``None`` (unconstrained),
+    validated loudly at controller construction.
 ``trace``
     ``{"kind": "stream" | "paper", **options}``.  ``stream`` builds a
     chunked :class:`~repro.fleet.stream.StreamingPaperTraces` (the

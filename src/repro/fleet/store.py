@@ -165,6 +165,26 @@ class ResultStore:
     # Aggregation
     # ------------------------------------------------------------------
 
+    def metric_columns(self) -> list[str]:
+        """Metric keys present in *every* stored record.
+
+        Lets callers extend a default table with optional columns
+        (e.g. ``offline_gap``) only when the whole store carries them
+        — :meth:`sweep_table` raises on records that lack a requested
+        metric, so partial columns should not be auto-selected.
+        """
+        common: set[str] | None = None
+        order: list[str] = []
+        for record in self:
+            keys = record.get("metrics", {}).keys()
+            for key in keys:
+                if key not in order:
+                    order.append(key)
+            common = set(keys) if common is None else common & set(keys)
+        if not common:
+            return []
+        return [key for key in order if key in common]
+
     def sweep_table(self, name: str = "fleet sweep",
                     metrics: Sequence[str] | None = None) -> SweepTable:
         """Seed-replicated aggregation into a :class:`SweepTable`.

@@ -221,6 +221,17 @@ class ArrayTraceStream(TraceStream):
     def n_slots(self) -> int:
         return self._traces.n_slots
 
+    @property
+    def seed(self) -> int | None:
+        """The generating seed, when the trace meta recorded one.
+
+        The streamed engine stamps ``run.stream.seed`` into scenario
+        records; materialized windows carry the seed through their
+        meta so array-backed replays keep the provenance column.
+        """
+        seed = self._traces.meta.get("seed")
+        return None if seed is None else int(seed)
+
     def open(self) -> TraceCursor:
         return _ArrayCursor(self._traces)
 

@@ -3,8 +3,11 @@
 This is the production solver for the offline-optimal baseline's
 full-horizon LP (thousands of variables).  Failures raise typed
 exceptions (:class:`~repro.exceptions.InfeasibleProblemError`,
-:class:`~repro.exceptions.UnboundedProblemError`) so experiments fail
-loudly instead of propagating NaNs.
+:class:`~repro.exceptions.UnboundedProblemError`,
+:class:`~repro.exceptions.IterationLimitError`) so experiments fail
+loudly instead of propagating NaNs.  The status mapping lives in
+:func:`raise_for_status` so the multi-instance path
+(:mod:`repro.solvers.batch_lp`) raises the identical errors.
 """
 
 from __future__ import annotations
@@ -13,16 +16,52 @@ from scipy.optimize import linprog
 
 from repro.exceptions import (
     InfeasibleProblemError,
+    IterationLimitError,
     SolverError,
     UnboundedProblemError,
 )
 from repro.solvers.linear_program import LpModel, LpSolution
 
 #: scipy linprog status codes.
-_STATUS_OK = 0
-_STATUS_ITERATION_LIMIT = 1
-_STATUS_INFEASIBLE = 2
-_STATUS_UNBOUNDED = 3
+STATUS_OK = 0
+STATUS_ITERATION_LIMIT = 1
+STATUS_INFEASIBLE = 2
+STATUS_UNBOUNDED = 3
+
+# Back-compat aliases (pre-refactor private names).
+_STATUS_OK = STATUS_OK
+_STATUS_ITERATION_LIMIT = STATUS_ITERATION_LIMIT
+_STATUS_INFEASIBLE = STATUS_INFEASIBLE
+_STATUS_UNBOUNDED = STATUS_UNBOUNDED
+
+
+def raise_for_status(status: int, model_name: str,
+                     message: str = "") -> None:
+    """Map a scipy-linprog status code onto the typed error hierarchy.
+
+    Returns silently for ``STATUS_OK``; every other code raises.  Both
+    solver entry points (:func:`solve_with_highs` and the compiled
+    multi-instance path) route through here, so a given failure mode
+    produces one exception type everywhere.
+    """
+    if status == STATUS_OK:
+        return
+    if status == STATUS_INFEASIBLE:
+        raise InfeasibleProblemError(
+            f"{model_name}: LP infeasible ({message})",
+            status="infeasible")
+    if status == STATUS_UNBOUNDED:
+        raise UnboundedProblemError(
+            f"{model_name}: LP unbounded ({message})",
+            status="unbounded")
+    if status == STATUS_ITERATION_LIMIT:
+        raise IterationLimitError(
+            f"{model_name}: simplex iteration limit reached before "
+            f"optimality ({message}); raise linprog's "
+            f"maxiter/simplex_iteration_limit or shrink the horizon",
+            status="iteration_limit")
+    raise SolverError(
+        f"{model_name}: HiGHS failed ({message})", status=str(status))
 
 
 def solve_with_highs(model: LpModel, use_sparse: bool = True) -> LpSolution:
@@ -37,17 +76,10 @@ def solve_with_highs(model: LpModel, use_sparse: bool = True) -> LpSolution:
         bounds=args["bounds"],
         method="highs",
     )
-    if result.status == _STATUS_INFEASIBLE:
-        raise InfeasibleProblemError(
-            f"{model.name}: LP infeasible ({result.message})",
-            status="infeasible")
-    if result.status == _STATUS_UNBOUNDED:
-        raise UnboundedProblemError(
-            f"{model.name}: LP unbounded ({result.message})",
-            status="unbounded")
-    if result.status != _STATUS_OK or result.x is None:
+    raise_for_status(result.status, model.name, result.message)
+    if result.x is None:
         raise SolverError(
-            f"{model.name}: HiGHS failed ({result.message})",
-            status=str(result.status))
+            f"{model.name}: HiGHS returned no solution "
+            f"({result.message})", status=str(result.status))
     return LpSolution(objective=float(result.fun), x=result.x,
                       status="optimal")

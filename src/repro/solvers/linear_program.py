@@ -68,6 +68,16 @@ class LpModel:
         """Total constraint rows (inequalities + equalities)."""
         return len(self._ub_rows) + len(self._eq_rows)
 
+    @property
+    def n_ub_rows(self) -> int:
+        """Inequality rows added so far (the next ``add_le`` index)."""
+        return len(self._ub_rows)
+
+    @property
+    def n_eq_rows(self) -> int:
+        """Equality rows added so far (the next ``add_eq`` index)."""
+        return len(self._eq_rows)
+
     def add_var(self, name: str, lb: float = 0.0,
                 ub: float = np.inf, cost: float = 0.0) -> LpVar:
         """Add a variable with bounds ``[lb, ub]`` and objective cost."""

@@ -332,6 +332,36 @@ class TraceBlock:
         return self.price_lt_hourly.reshape(
             self.n_scenarios, -1, t).mean(axis=2)
 
+    @classmethod
+    def from_tracesets(cls, tracesets: "list[TraceSet]",
+                       meta: dict | None = None) -> "TraceBlock":
+        """Stack ``B`` equal-length :class:`TraceSet` windows.
+
+        Inverse of :meth:`scenario` for the series arrays: row ``b`` of
+        each stacked series is ``tracesets[b]``'s series, bit for bit.
+        Per-scenario seeds found in the sets' meta are collected under
+        ``meta["seeds"]`` so :meth:`scenario` can hand them back.
+        """
+        if not tracesets:
+            raise TraceError("from_tracesets needs >= 1 trace set")
+        lengths = {ts.n_slots for ts in tracesets}
+        if len(lengths) != 1:
+            raise HorizonMismatchError(
+                f"trace sets have mismatched lengths: {sorted(lengths)}")
+        meta = dict(meta) if meta is not None else {}
+        seeds = [ts.meta.get("seed") for ts in tracesets]
+        if any(seed is not None for seed in seeds):
+            meta.setdefault("seeds", seeds)
+        return cls(
+            demand_ds=np.stack([ts.demand_ds for ts in tracesets]),
+            demand_dt=np.stack([ts.demand_dt for ts in tracesets]),
+            renewable=np.stack([ts.renewable for ts in tracesets]),
+            price_rt=np.stack([ts.price_rt for ts in tracesets]),
+            price_lt_hourly=np.stack(
+                [ts.price_lt_hourly for ts in tracesets]),
+            meta=meta,
+        )
+
     def scenario(self, index: int) -> TraceSet:
         """Scenario ``index``'s window as a plain :class:`TraceSet`."""
         meta = dict(self.meta)

@@ -120,11 +120,51 @@ def compute_fleet_fig6_t() -> dict:
     }
 
 
+def compute_fleet_offline_gap() -> dict:
+    """A tiny fleet V-sweep with the offline-gap column pinned.
+
+    Exercises the whole batched-baseline chain — structure-compiled LP
+    solves, vectorized plan replay, the gap arithmetic — through the
+    ``FleetRunner(offline_gap=True)`` front door, and pins both the
+    policy metrics and the new ``offline_cost`` / ``offline_gap``
+    columns end to end (runner → store → table).
+    """
+    import tempfile
+
+    from repro.fleet.runner import FleetRunner
+    from repro.fleet.spec import ScenarioSpec, grid_specs
+    from repro.fleet.store import ResultStore
+
+    template = ScenarioSpec(
+        system={"preset": "paper", "days": 1,
+                "fine_slots_per_coarse": 6},
+        controller={"kind": "smartdpss"},
+        trace={"kind": "stream"},
+    )
+    specs = grid_specs(template, "controller.v", [0.1, 1.0, 5.0],
+                       seeds=(0, 1))
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(tmp)
+        FleetRunner(specs, store=store, offline_gap=True).run()
+        table = store.sweep_table(
+            name="fleet offline gap",
+            metrics=("time_avg_cost", "avg_delay_slots",
+                     "offline_cost", "offline_gap"))
+    return {
+        "rows": [{
+            "v": point.value,
+            "n_seeds": point.n_seeds,
+            **point.metrics,
+        } for point in table.points],
+    }
+
+
 EXPERIMENTS = {
     "fig5_traces": compute_fig5,
     "fig6_v_sweep": compute_fig6_v,
     "fig6_t_sweep": compute_fig6_t,
     "fleet_fig6_t_sweep": compute_fleet_fig6_t,
+    "fleet_offline_gap": compute_fleet_offline_gap,
 }
 
 

@@ -5,8 +5,15 @@ import pytest
 
 from repro.baselines.impatient import ImpatientController
 from repro.baselines.myopic import MyopicPriceThreshold, _RunningQuantile
-from repro.baselines.offline import OfflineOptimal, solve_offline_plan
+from repro.baselines.offline import (
+    OfflineOptimal,
+    OfflinePlan,
+    solve_offline_plan,
+)
+from repro.core.interfaces import FineObservation
+from repro.exceptions import ConfigurationError
 from repro.sim.engine import Simulator
+from repro.traces.base import TraceSet
 from tests.conftest import constant_traces
 
 
@@ -110,6 +117,135 @@ class TestOfflineReplay:
         result = Simulator(small_system, OfflineOptimal(small_traces),
                            small_traces).run()
         assert result.availability == 1.0
+
+
+def _toy_plan(n: int, sdt: np.ndarray, grt: np.ndarray | None = None
+              ) -> OfflinePlan:
+    zeros = np.zeros(n)
+    return OfflinePlan(
+        gbef=np.zeros(4), grt=zeros if grt is None else grt, sdt=sdt,
+        charge=zeros, discharge=zeros, waste=zeros,
+        battery=np.zeros(n + 1), backlog=np.zeros(n + 1),
+        lp_objective=0.0)
+
+
+def _fine_obs(backlog: float) -> FineObservation:
+    return FineObservation(
+        fine_slot=0, coarse_index=0, price_rt=50.0, demand_ds=1.0,
+        demand_dt=0.0, renewable=0.0, battery_level=0.0,
+        backlog=backlog, long_term_rate=1.0, grid_headroom=10.0,
+        supply_headroom=10.0, cycle_budget_left=None)
+
+
+class TestOfflineServeSemantics:
+    """``min(planned, backlog)`` service in the replay controller.
+
+    Regression pack for the bug where gamma was forced to 0 whenever
+    ``backlog <= 1e-12``, silently dropping planned service and
+    letting the replay drift behind the LP's cumulative-service
+    schedule near empty-queue slots.
+    """
+
+    def _controller(self, sdt0: float) -> OfflineOptimal:
+        sdt = np.zeros(8)
+        sdt[0] = sdt0
+        controller = OfflineOptimal(None, plan=_toy_plan(8, sdt))
+        controller.plan = controller._injected_plan
+        return controller
+
+    def test_tiny_backlog_fully_served(self):
+        # Planned service exceeds a sub-epsilon queue: serve all of it
+        # (gamma = 1), not none of it (the old gamma = 0 branch).
+        decision = self._controller(0.5).real_time(_fine_obs(1e-13))
+        assert decision.gamma == 1.0
+
+    def test_partial_service_ratio(self):
+        decision = self._controller(0.5).real_time(_fine_obs(2.0))
+        assert decision.gamma == pytest.approx(0.25)
+
+    def test_zero_backlog_zero_gamma(self):
+        decision = self._controller(0.5).real_time(_fine_obs(0.0))
+        assert decision.gamma == 0.0
+
+    def test_no_planned_service_zero_gamma(self):
+        decision = self._controller(0.0).real_time(_fine_obs(2.0))
+        assert decision.gamma == 0.0
+
+    def test_near_empty_queue_trace_drains(self, small_system):
+        # Engineered to hit the bug: the plan is solved against an
+        # arrival of 0.4 MWh, but the replayed trace delivers only a
+        # sub-epsilon queue — exactly the "plan.sdt > 0 while backlog
+        # <= 1e-12" slot the old branch zeroed out, stranding the
+        # arrival past its deadline.
+        n = small_system.horizon_slots
+
+        def trace_with_arrival(amount: float) -> TraceSet:
+            ddt = np.zeros(n)
+            ddt[0] = amount
+            return TraceSet(
+                demand_ds=np.full(n, 1.0), demand_dt=ddt,
+                renewable=np.zeros(n), price_rt=np.full(n, 50.0),
+                price_lt_hourly=np.full(n, 40.0))
+
+        plan = solve_offline_plan(small_system,
+                                  trace_with_arrival(0.4))
+        assert plan.sdt.sum() == pytest.approx(0.4, rel=1e-6)
+        replay_traces = trace_with_arrival(1e-13)
+        controller = OfflineOptimal(None, plan=plan)
+        result = Simulator(small_system, controller,
+                           replay_traces).run()
+        # The replay must not strand the arrival in the queue.
+        assert result.series["backlog"][-1] == 0.0
+
+
+class TestOfflineDeadlineValidation:
+    def test_zero_rejected(self, small_system, small_traces):
+        with pytest.raises(ConfigurationError, match="deadline_slots"):
+            solve_offline_plan(small_system, small_traces,
+                               deadline_slots=0)
+
+    def test_negative_rejected(self, small_system, small_traces):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            solve_offline_plan(small_system, small_traces,
+                               deadline_slots=-3)
+
+    def test_non_int_rejected(self, small_system, small_traces):
+        with pytest.raises(ConfigurationError, match="int"):
+            solve_offline_plan(small_system, small_traces,
+                               deadline_slots=12.5)
+
+    def test_none_disables_deadline(self, small_system, small_traces):
+        plan = solve_offline_plan(small_system, small_traces,
+                                  deadline_slots=None)
+        assert plan.lp_objective <= solve_offline_plan(
+            small_system, small_traces).lp_objective + 1e-6
+
+    def test_controller_validates_at_construction(self, small_traces):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            OfflineOptimal(small_traces, deadline_slots=0)
+
+    def test_controller_needs_traces_or_plan(self):
+        with pytest.raises(ConfigurationError, match="traces"):
+            OfflineOptimal(None)
+
+
+class TestOfflinePlanInjection:
+    def test_injected_plan_skips_solve(self, small_system,
+                                       small_traces):
+        plan = solve_offline_plan(small_system, small_traces)
+        controller = OfflineOptimal(None, plan=plan)
+        controller.begin_horizon(small_system)
+        assert controller.plan is plan
+
+    def test_injected_replay_matches_solved(self, small_system,
+                                            small_traces):
+        plan = solve_offline_plan(small_system, small_traces)
+        solved = Simulator(small_system, OfflineOptimal(small_traces),
+                           small_traces).run()
+        injected = Simulator(small_system,
+                             OfflineOptimal(None, plan=plan),
+                             small_traces).run()
+        assert injected.total_cost == solved.total_cost
 
 
 class TestRunningQuantile:

@@ -113,3 +113,75 @@ class TestHighsBackend:
         x = model.add_var("x", lb=0.0, ub=2.0, cost=-1.0)
         solution = solve_with_highs(model, use_sparse=False)
         assert solution.value(x) == pytest.approx(2.0)
+
+
+class _FakeLinprogResult:
+    def __init__(self, status, x=None, fun=None,
+                 message="synthetic status"):
+        self.status = status
+        self.x = x
+        self.fun = fun
+        self.message = message
+
+
+class TestStatusPaths:
+    """All four linprog status codes map to typed outcomes.
+
+    The real solver cannot be coaxed into an iteration-limit
+    termination on a toy model, so ``linprog`` is monkeypatched to
+    return each status code verbatim — what's under test is the
+    mapping, which both :func:`solve_with_highs` and the compiled
+    multi-instance path route through :func:`raise_for_status`.
+    """
+
+    @staticmethod
+    def _solve(monkeypatch, result):
+        model = LpModel("status-probe")
+        model.add_var("x", lb=0.0, ub=1.0, cost=1.0)
+        monkeypatch.setattr("repro.solvers.highs.linprog",
+                            lambda **kwargs: result)
+        return solve_with_highs(model)
+
+    def test_ok_returns_solution(self, monkeypatch):
+        result = _FakeLinprogResult(0, x=np.array([0.25]), fun=0.25)
+        solution = self._solve(monkeypatch, result)
+        assert solution.objective == pytest.approx(0.25)
+        assert solution.status == "optimal"
+
+    def test_iteration_limit_typed_and_actionable(self, monkeypatch):
+        from repro.exceptions import IterationLimitError
+
+        with pytest.raises(IterationLimitError) as excinfo:
+            self._solve(monkeypatch, _FakeLinprogResult(1))
+        message = str(excinfo.value)
+        assert "status-probe" in message          # names the model
+        assert "iteration limit" in message       # names the failure
+        assert "maxiter" in message               # names the remedy
+        assert excinfo.value.status == "iteration_limit"
+        # The typed error is still a SolverError for broad handlers.
+        assert isinstance(excinfo.value, SolverError)
+
+    def test_infeasible_status_mapped(self, monkeypatch):
+        with pytest.raises(InfeasibleProblemError) as excinfo:
+            self._solve(monkeypatch, _FakeLinprogResult(2))
+        assert excinfo.value.status == "infeasible"
+
+    def test_unbounded_status_mapped(self, monkeypatch):
+        with pytest.raises(UnboundedProblemError) as excinfo:
+            self._solve(monkeypatch, _FakeLinprogResult(3))
+        assert excinfo.value.status == "unbounded"
+
+    def test_unknown_status_falls_back(self, monkeypatch):
+        with pytest.raises(SolverError) as excinfo:
+            self._solve(monkeypatch, _FakeLinprogResult(4))
+        assert excinfo.value.status == "4"
+
+    def test_missing_solution_rejected(self, monkeypatch):
+        with pytest.raises(SolverError, match="no solution"):
+            self._solve(monkeypatch,
+                        _FakeLinprogResult(0, x=None, fun=None))
+
+    def test_raise_for_status_ok_is_silent(self):
+        from repro.solvers.highs import STATUS_OK, raise_for_status
+
+        raise_for_status(STATUS_OK, "any-model")
