@@ -3,9 +3,9 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast test-equivalence test-backend bench-smoke \
-	bench-batch bench-fleet bench-traces bench-plan bench-backend \
-	bench-offline benchmarks
+.PHONY: test test-fast test-equivalence test-backend test-telemetry \
+	bench-smoke bench-batch bench-fleet bench-traces bench-plan \
+	bench-backend bench-offline bench-telemetry benchmarks
 
 # Tier-1 verify: the full suite, fail-fast.
 test:
@@ -24,6 +24,11 @@ test-equivalence:
 # install.
 test-backend:
 	$(PY) -m pytest -q -m backend
+
+# Telemetry subsystem only: collectors, manifests, on/off bit-identity
+# (the `telemetry` marker; `make test` runs these as part of tier-1).
+test-telemetry:
+	$(PY) -m pytest -q -m telemetry
 
 # Tiny batch-vs-serial canary: fails if the batch engine errors,
 # diverges from the scalar engine, or regresses past 2x serial.
@@ -61,6 +66,12 @@ bench-backend:
 # writes BENCH_offline.json.
 bench-offline:
 	$(PY) benchmarks/bench_offline.py
+
+# Telemetry overhead: instrumented vs uninstrumented 10^4-scenario
+# streamed sweep, paired per shard, gated on bit-identical records and
+# <= 2% CPU overhead; writes BENCH_telemetry.json.
+bench-telemetry:
+	$(PY) benchmarks/bench_telemetry.py
 
 # Figure-regeneration benchmarks (pytest-benchmark suite).
 benchmarks:

@@ -15,13 +15,19 @@ more than one chunk of trace data per scenario in memory:
    the in-memory and scalar engines — see tests/equivalence/);
 3. finished shards append incrementally to an on-disk
    :class:`ResultStore`, which then aggregates the 500 seed replicas
-   per V into one seed-averaged :class:`SweepTable`.
+   per V into one seed-averaged :class:`SweepTable`;
+4. the run is instrumented (``telemetry=True``): each shard carries a
+   telemetry collector through the engine and solvers, the merged
+   run manifest lands in the store's ``manifest.jsonl``, and the
+   per-stage wall-time breakdown prints at the end — records are
+   bit-identical with telemetry on or off.
 
 The same fleet can be launched from the shell::
 
     python -m repro.fleet run --demo v-sweep --scenarios 10000 \\
-        --days 1 --t-slots 6 --out out/fleet --workers 2
+        --days 1 --t-slots 6 --out out/fleet --workers 2 --telemetry
     python -m repro.fleet report --out out/fleet
+    python -m repro.fleet stats out/fleet
 
 Run:  PYTHONPATH=src python examples/fleet_sweep.py [n_scenarios]
 """
@@ -53,13 +59,18 @@ def main(n_scenarios: int = 10_000) -> None:
     with tempfile.TemporaryDirectory() as tmp:
         store = ResultStore(tmp)
         runner = FleetRunner(specs, batch_size=64, chunk_coarse=2,
-                             store=store)
+                             store=store, telemetry=True)
         start = time.perf_counter()
         runner.run()
         elapsed = time.perf_counter() - start
         print(f"completed in {elapsed:.1f}s "
               f"({len(specs) / elapsed:.0f} scenarios/s), "
               f"{len(store)} records in {store.path}")
+        print()
+        # Where did the time go?  The run manifest breaks the sweep
+        # into pipeline stages (also stored in manifest.jsonl; render
+        # stored runs later with `python -m repro.fleet stats <dir>`).
+        print(runner.last_manifest.render())
         print()
 
         table = store.sweep_table(

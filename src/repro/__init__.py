@@ -20,6 +20,13 @@ Quickstart::
     print(result.time_average_cost, result.average_delay_hours())
 """
 
+import logging as _logging
+
+# Library hygiene: repro.* modules log under this hierarchy but never
+# configure handlers — silence "No handlers could be found" for
+# embedders; the CLIs install their own stderr handler per invocation.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from repro.caches import clear_caches
 from repro.baselines import (
     ImpatientController,

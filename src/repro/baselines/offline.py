@@ -259,10 +259,11 @@ class _OfflineStructure:
 
     def solve(self, plt: np.ndarray, prt: np.ndarray,
               dds: np.ndarray, ddt: np.ndarray,
-              renewable: np.ndarray) -> OfflinePlan:
+              renewable: np.ndarray, telemetry=None) -> OfflinePlan:
         """Stamp one scenario's numerics and solve."""
         vectors = self.instance_vectors(plt, prt, dds, ddt, renewable)
-        solution = self.compiled.solve(fast=self.fast, **vectors)
+        solution = self.compiled.solve(fast=self.fast,
+                                       telemetry=telemetry, **vectors)
         x = solution.x
         return OfflinePlan(
             gbef=x[self.g_cols].copy(),
@@ -322,14 +323,15 @@ def solve_offline_plan_batch(system: SystemConfig, block: TraceBlock,
                              deadline_slots: int | None =
                              DEFAULT_DEADLINE_SLOTS,
                              include_real_time: bool = True,
-                             cycle_proxy_cost: float = 0.0
-                             ) -> list[OfflinePlan]:
+                             cycle_proxy_cost: float = 0.0,
+                             telemetry=None) -> list[OfflinePlan]:
     """Solve the offline LP for every scenario of a trace block.
 
     The constraint structure is compiled once and each scenario stamps
     its cost/rhs vectors — per scenario this is the *same* compiled
     solve :func:`solve_offline_plan` dispatches to, so plan ``b``
     equals the scalar plan for ``block.scenario(b)`` bit for bit.
+    ``telemetry`` times each stamped solve (``lp_solve`` span).
     """
     deadline_slots = _validate_deadline(deadline_slots)
     n = system.horizon_slots
@@ -343,7 +345,8 @@ def solve_offline_plan_batch(system: SystemConfig, block: TraceBlock,
                             prt=block.price_rt[b],
                             dds=block.demand_ds[b],
                             ddt=block.demand_dt[b],
-                            renewable=block.renewable[b])
+                            renewable=block.renewable[b],
+                            telemetry=telemetry)
             for b in range(block.n_scenarios)]
 
 

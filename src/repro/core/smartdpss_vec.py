@@ -62,6 +62,7 @@ from repro.core.smartdpss import SmartDPSS
 from repro.core.virtual_queues import operational_shift, paper_shift
 from repro.exceptions import ConfigurationError
 from repro.config.system import SystemConfig
+from repro.telemetry.core import TELEMETRY_OFF
 
 #: Default planning path for new instances.  The benchmark flips this
 #: to time the scalar-loop reference against the batch path end to end.
@@ -90,11 +91,18 @@ class VecSmartDPSS:
         ``False`` force the preallocated per-slot buffers on or off.
         The workspace path is bit-identical to the allocation path
         and is vetoed automatically on immutable backends.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` (``None`` = off).
+        Times the pooled P4 tensor pass (``p4`` span, one per coarse
+        boundary) and the vectorized P5 solve (``p5``, guarded, every
+        fine slot); never touches numeric state, so decisions are
+        bit-identical with it on or off.
     """
 
     def __init__(self, controllers: Sequence[SmartDPSS], *,
                  batch_planning: bool | None = None,
-                 workspace: bool | None = None):
+                 workspace: bool | None = None,
+                 telemetry=None):
         if not controllers:
             raise ValueError("need at least one controller")
         self.controllers = list(controllers)
@@ -102,6 +110,8 @@ class VecSmartDPSS:
                                if batch_planning is None
                                else bool(batch_planning))
         self._workspace_flag = workspace
+        self._telemetry = telemetry if telemetry is not None \
+            else TELEMETRY_OFF
         self._work_p5: P5Workspace | None = None
         self._work_rt: RealTimeWorkspace | None = None
         modes = {c.config.objective_mode for c in self.controllers}
@@ -404,7 +414,8 @@ class VecSmartDPSS:
             states, pending = self._prepare_plan_loop(obs)
         gbef = np.zeros(self._n)
         if states:
-            solutions = solve_p4_many(states, self.mode)
+            with self._telemetry.span("p4"):
+                solutions = solve_p4_many(states, self.mode)
             for index, solution in zip(pending, solutions):
                 self._planned_rate[index] = solution.rate
                 gbef[index] = solution.gbef
@@ -494,7 +505,13 @@ class VecSmartDPSS:
             grt_cap=grt_cap,
             battery_margin=self._margin_n,
         )
-        return solve_p5_batch(state, self.mode, work=self._work_p5)
+        tele = self._telemetry
+        if not tele.enabled:
+            return solve_p5_batch(state, self.mode, work=self._work_p5)
+        t0 = tele.clock()
+        decision = solve_p5_batch(state, self.mode, work=self._work_p5)
+        tele.add_time("p5", tele.clock() - t0)
+        return decision
 
     def end_slot(self, feedback) -> None:
         """Vectorized queue updates (eq. 12 and the battery tracker)."""

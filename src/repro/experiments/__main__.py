@@ -14,10 +14,26 @@ Each experiment prints the same series its benchmark writes to
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+logger = logging.getLogger("repro.experiments")
+
+
+def _configure_logging(level_name: str) -> None:
+    """Console logging to stderr for one CLI invocation (``force=True``
+    rebinds handlers so repeated in-process runs never write to a
+    stale captured stream).  Figure tables stay on stdout."""
+    level = getattr(logging, level_name.upper(), None)
+    if not isinstance(level, int):
+        raise SystemExit(f"unknown log level {level_name!r}")
+    fmt = ("%(message)s" if level >= logging.INFO
+           else "%(levelname)s %(name)s: %(message)s")
+    logging.basicConfig(stream=sys.stderr, level=level, format=fmt,
+                        force=True)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,6 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="root trace seed")
     parser.add_argument("--days", type=int, default=None,
                         help="horizon length in days")
+    parser.add_argument("--log-level", default="info",
+                        help="console log level on stderr "
+                             "(debug/info/warning/error; default: info)")
     return parser
 
 
@@ -46,6 +65,7 @@ def list_experiments() -> str:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args.log_level)
     if args.experiment is None:
         print(list_experiments())
         return 0
@@ -58,14 +78,13 @@ def main(argv: list[str] | None = None) -> int:
                else [args.experiment])
     for experiment_id in targets:
         if experiment_id not in EXPERIMENTS:
-            print(f"unknown experiment {experiment_id!r}",
-                  file=sys.stderr)
+            logger.error("unknown experiment %r", experiment_id)
             print(list_experiments(), file=sys.stderr)
             return 2
         started = time.perf_counter()
         print(run_experiment(experiment_id, **kwargs))
         elapsed = time.perf_counter() - started
-        print(f"[{experiment_id} finished in {elapsed:.1f}s]")
+        logger.info("[%s finished in %.1fs]", experiment_id, elapsed)
         print()
     return 0
 

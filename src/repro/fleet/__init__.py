@@ -24,6 +24,22 @@ Command line::
     python -m repro.fleet run --demo v-sweep --scenarios 10000 --out out/
     python -m repro.fleet report --out out/
 
+Telemetry quickstart — answer "where did the time go" for any run::
+
+    runner = FleetRunner(specs, store=store, telemetry=True)
+    runner.run()
+    print(runner.last_manifest.render())   # per-stage breakdown
+
+    # or from the shell (the manifest persists next to the results):
+    #   python -m repro.fleet run --demo v-sweep --out out/ --telemetry
+    #   python -m repro.fleet stats out/
+
+Instrumentation (:mod:`repro.telemetry`) is explicitly passed down
+the pipeline — runner → engine → controller → solvers — and records
+are bit-identical with telemetry on or off: span timers only read the
+monotonic clock, never numeric state.  Disabled (the default), every
+instrumented site costs one attribute check.
+
 The streamed path is gated by ``tests/equivalence/``: for identical
 specs it is bit-identical to the in-memory batch engine (which is
 itself bit-identical to the scalar reference engine).

@@ -21,12 +21,18 @@ dicts)::
 Aggregate whatever a store holds into a seed-averaged table::
 
     python -m repro.fleet report --out out/fleet
+
+Instrument a run and read its per-stage wall-time breakdown back::
+
+    python -m repro.fleet run --demo v-sweep --out out/fleet --telemetry
+    python -m repro.fleet stats out/fleet
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 import time
 from pathlib import Path
@@ -37,6 +43,7 @@ from repro.fleet.runner import (
     DEFAULT_BATCH_SIZE,
     DEFAULT_CHUNK_COARSE,
     FleetRunner,
+    RunProgress,
     ShardOutcome,
 )
 from repro.fleet.spec import (
@@ -45,8 +52,29 @@ from repro.fleet.spec import (
     sample_specs,
 )
 from repro.fleet.store import DEFAULT_TABLE_METRICS, ResultStore
+from repro.telemetry import RunManifest, stage_split
 
 DEMOS = ("v-sweep", "t-sweep", "random")
+
+logger = logging.getLogger("repro.fleet")
+
+
+def _configure_logging(level_name: str) -> None:
+    """Console logging to stderr for one CLI invocation.
+
+    ``force=True`` rebinds handlers every call, so repeated in-process
+    ``main()`` invocations (tests, notebooks) never write to a stale
+    captured stream.  Reporting output (tables, manifests) stays on
+    stdout; progress and diagnostics go through the ``repro.*`` logger
+    hierarchy to stderr.
+    """
+    level = getattr(logging, level_name.upper(), None)
+    if not isinstance(level, int):
+        raise SystemExit(f"unknown log level {level_name!r}")
+    fmt = ("%(message)s" if level >= logging.INFO
+           else "%(levelname)s %(name)s: %(message)s")
+    logging.basicConfig(stream=sys.stderr, level=level, format=fmt,
+                        force=True)
 
 
 def _template(days: int, t_slots: int) -> ScenarioSpec:
@@ -98,6 +126,10 @@ def load_spec_file(path: Path) -> list[ScenarioSpec]:
     return [ScenarioSpec.from_dict(entry) for entry in payload]
 
 
+def _eta_text(eta_s: float) -> str:
+    return "?" if eta_s == float("inf") else f"{eta_s:.0f}s"
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if args.spec_file is not None:
         specs = load_spec_file(Path(args.spec_file))
@@ -109,26 +141,50 @@ def cmd_run(args: argparse.Namespace) -> int:
                          chunk_coarse=args.chunk_coarse,
                          max_workers=args.workers, store=store,
                          resume=not args.no_resume,
-                         offline_gap=args.offline_gap)
+                         offline_gap=args.offline_gap,
+                         telemetry=args.telemetry)
 
     t0 = time.perf_counter()
 
-    def progress(outcome: ShardOutcome, finished: int, total: int) -> None:
-        print(f"  shard {finished}/{total} done "
-              f"({len(outcome.indices)} scenarios, engine="
-              f"{outcome.engine}, {outcome.elapsed_s:.2f}s)",
-              flush=True)
+    def verbose_progress(outcome: ShardOutcome, finished: int,
+                         total: int, stats: RunProgress) -> None:
+        logger.info(
+            "  shard %d/%d done (%d scenarios, engine=%s, %.2fs; "
+            "cumulative %.0f scenarios/s, eta %s)",
+            finished, total, len(outcome.indices), outcome.engine,
+            outcome.elapsed_s, stats.rate, _eta_text(stats.eta_s))
 
-    print(f"fleet: {len(specs)} scenarios, "
-          f"{len(runner.shards())} shards, "
-          f"workers={args.workers or 1}, "
-          f"batch_size={args.batch_size}, "
-          f"chunk_coarse={args.chunk_coarse}")
-    runner.run(progress=progress if args.verbose else None)
+    def quiet_progress(outcome: ShardOutcome, finished: int,
+                       total: int, stats: RunProgress) -> None:
+        # Single overwriting line; only on a real terminal so captured
+        # CI/test output stays clean.
+        if not sys.stderr.isatty():
+            return
+        sys.stderr.write(
+            f"\r  {stats.scenarios_done}/{stats.scenarios_total} "
+            f"scenarios, shard {finished}/{total} "
+            f"({stats.rate:.0f}/s, eta {_eta_text(stats.eta_s)})  ")
+        if finished == total:
+            sys.stderr.write("\n")
+        sys.stderr.flush()
+
+    logger.info(
+        "fleet: %d scenarios, %d shards, workers=%s, batch_size=%d, "
+        "chunk_coarse=%d%s", len(specs), len(runner.shards()),
+        args.workers or 1, args.batch_size, args.chunk_coarse,
+        ", telemetry" if args.telemetry else "")
+    runner.run(progress=verbose_progress if args.verbose
+               else quiet_progress)
     elapsed = time.perf_counter() - t0
-    print(f"completed {len(specs)} scenarios in {elapsed:.2f}s "
-          f"({len(specs) / elapsed:.0f} scenarios/s); results in "
-          f"{store.path}")
+    summary = (f"completed {len(specs)} scenarios in {elapsed:.2f}s "
+               f"({len(specs) / elapsed:.0f} scenarios/s); results in "
+               f"{store.path}")
+    if runner.last_manifest is not None:
+        split = stage_split(runner.last_manifest.stages)
+        if split:
+            summary += f" [{split}]"
+        summary += f"; manifest in {store.manifest_path}"
+    logger.info("%s", summary)
     return 0
 
 
@@ -150,11 +206,36 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Render run manifests stored in a result store's sidecar."""
+    store = ResultStore(args.store)
+    manifests = store.manifests()
+    if not manifests:
+        logger.error(
+            "no run manifests in %s — run the fleet with --telemetry "
+            "to record one", store.manifest_path)
+        return 1
+    selected = manifests if args.all else manifests[-1:]
+    shown = 0
+    for data in selected:
+        if shown:
+            print()
+        print(RunManifest.from_dict(data).render())
+        shown += 1
+    if not args.all and len(manifests) > 1:
+        print(f"({len(manifests) - 1} earlier run(s) stored; "
+              f"--all shows every manifest)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.fleet",
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--log-level", default="info",
+                        help="console log level on stderr "
+                             "(debug/info/warning/error; default: info)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     run = commands.add_parser(
@@ -181,6 +262,11 @@ def build_parser() -> argparse.ArgumentParser:
                      default=DEFAULT_CHUNK_COARSE,
                      help="coarse slots of trace data resident per "
                           "scenario")
+    run.add_argument("--telemetry", action="store_true",
+                     help="record stage-level timing and counters; "
+                          "appends a run manifest to the store's "
+                          "manifest.jsonl (read it back with the "
+                          "stats command)")
     run.add_argument("--offline-gap", action="store_true",
                      help="solve the clairvoyant offline baseline per "
                           "scenario (batched LP) and record "
@@ -203,11 +289,22 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--metrics", default=None,
                         help="comma-separated metric names")
     report.set_defaults(handler=cmd_report)
+
+    stats = commands.add_parser(
+        "stats", help="render stored run manifests (per-stage timing)")
+    stats.add_argument("store",
+                       help="result-store directory holding a "
+                            "manifest.jsonl sidecar")
+    stats.add_argument("--all", action="store_true",
+                       help="render every stored manifest, not just "
+                            "the latest run")
+    stats.set_defaults(handler=cmd_stats)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args.log_level)
     return args.handler(args)
 
 

@@ -338,8 +338,9 @@ class StreamingBatchSimulator(BatchSimulator):
     def __init__(self, runs: Sequence[StreamRunSpec],
                  controller: BatchController | None = None,
                  *, chunk_coarse: int = 4, batch_traces: bool = True,
-                 workspace: bool | None = None):
-        self._init_group(runs, controller, workspace=workspace)
+                 workspace: bool | None = None, telemetry=None):
+        self._init_group(runs, controller, workspace=workspace,
+                         telemetry=telemetry)
         if chunk_coarse < 1:
             raise ValueError(
                 f"chunk_coarse must be >= 1, got {chunk_coarse}")
@@ -489,7 +490,14 @@ class StreamingBatchSimulator(BatchSimulator):
     # ------------------------------------------------------------------
 
     def run(self) -> list[ScenarioMetrics]:
-        """Stream every scenario over the horizon, chunk by chunk."""
+        """Stream every scenario over the horizon, chunk by chunk.
+
+        Stage timings (chunk generation, the slot loop, delay replay,
+        metric collection) are guarded on ``tele.enabled``; the
+        instrumentation reads clocks only, so streamed metrics are
+        bit-identical with telemetry on or off.
+        """
+        tele = self._telemetry
         state = self._begin_run()
         if self._batch_source is not None:
             batch_cursor = self._batch_source.open()
@@ -506,12 +514,28 @@ class StreamingBatchSimulator(BatchSimulator):
         tail: dict[str, np.ndarray] | None = None
         for start in range(0, self._n_slots, self._chunk_slots):
             stop = min(start + self._chunk_slots, self._n_slots)
+            t0 = tele.clock() if tele.enabled else 0.0
             tail = load(start, stop, tail)
+            if tele.enabled:
+                tele.add_time("traces", tele.clock() - t0)
+                tele.count("chunks")
+                t0 = tele.clock()
             for slot in range(start, stop):
                 self._advance_slot(slot, state)
+            if tele.enabled:
+                tele.add_time("slot_loop", tele.clock() - t0)
+                tele.count("slots", stop - start)
+                t0 = tele.clock()
             state.recorder.flush_delays(
                 start, self._true_ddt[:, start - self._slot0:])
-        return self._finish_run(state)
+            if tele.enabled:
+                tele.add_time("delay_replay", tele.clock() - t0)
+        t0 = tele.clock() if tele.enabled else 0.0
+        metrics = self._finish_run(state)
+        if tele.enabled:
+            tele.add_time("collect", tele.clock() - t0)
+            tele.count("scenarios", self._batch)
+        return metrics
 
     def _collect(self, recorder: StreamingAggregator, cycles, lt_ledger,
                  rt_ledger) -> list[ScenarioMetrics]:

@@ -210,8 +210,18 @@ class ScenarioSpec:
 
     def spec_hash(self) -> str:
         """Content hash identifying this exact scenario (see
-        :func:`spec_content_hash`)."""
-        return spec_content_hash(self.to_dict())
+        :func:`spec_content_hash`).
+
+        Computed once per instance: specs are immutable by contract,
+        and fleet-scale callers (the resumption index, run manifests)
+        hash whole 10⁴-spec fleets — rehashing per call would cost
+        ~2 % of a sweep's wall-clock.
+        """
+        cached = self.__dict__.get("_spec_hash")
+        if cached is None:
+            cached = spec_content_hash(self.to_dict())
+            object.__setattr__(self, "_spec_hash", cached)
+        return cached
 
     def group_key(self) -> tuple:
         """Batch-compatibility key (see ``BatchSimulator`` shape rule).

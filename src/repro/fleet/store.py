@@ -37,6 +37,7 @@ DEFAULT_TABLE_METRICS = ("time_avg_cost", "avg_delay_slots",
 
 _RESULTS_NAME = "results.jsonl"
 _META_NAME = "meta.json"
+_MANIFEST_NAME = "manifest.jsonl"
 
 
 class ResultStore:
@@ -47,6 +48,7 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self._results_path = self.root / _RESULTS_NAME
         self._meta_path = self.root / _META_NAME
+        self._manifest_path = self.root / _MANIFEST_NAME
         if not self._meta_path.exists():
             self._meta_path.write_text(
                 json.dumps({"format": "repro-fleet-results", "version": 1})
@@ -56,6 +58,11 @@ class ResultStore:
     def path(self) -> Path:
         """The JSONL file records land in."""
         return self._results_path
+
+    @property
+    def manifest_path(self) -> Path:
+        """The run-manifest sidecar (one JSON line per telemetry run)."""
+        return self._manifest_path
 
     # ------------------------------------------------------------------
     # Writing
@@ -85,6 +92,41 @@ class ResultStore:
             handle.write(prefix + "\n".join(lines) + "\n")
             handle.flush()
         return len(lines)
+
+    def append_manifest(self, record: Mapping) -> None:
+        """Append one run manifest to the ``manifest.jsonl`` sidecar.
+
+        Same append-only, torn-write-tolerant discipline as record
+        appends: the line is serialized before the file is opened, and
+        a torn predecessor line is isolated with a fresh newline.
+        """
+        line = json.dumps(dict(record), sort_keys=True)
+        prefix = ""
+        if self._manifest_path.exists() \
+                and self._manifest_path.stat().st_size > 0:
+            with self._manifest_path.open("rb") as handle:
+                handle.seek(-1, 2)
+                if handle.read(1) != b"\n":
+                    prefix = "\n"
+        with self._manifest_path.open("a", encoding="utf-8") as handle:
+            handle.write(prefix + line + "\n")
+            handle.flush()
+
+    def manifests(self) -> list[dict]:
+        """Stored run manifests in append order (torn lines skipped)."""
+        if not self._manifest_path.exists():
+            return []
+        records = []
+        with self._manifest_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # torn write; complete manifests are intact
+        return records
 
     # ------------------------------------------------------------------
     # Reading

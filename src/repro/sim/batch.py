@@ -59,6 +59,7 @@ from repro.sim.vecstate import (
     VecMarketLedger,
     replay_delay_stats,
 )
+from repro.telemetry.core import TELEMETRY_OFF
 from repro.traces.base import TraceSet
 
 #: Executor names accepted by :func:`simulate_many` / ``Sweep.run``.
@@ -240,8 +241,9 @@ class BatchSimulator:
 
     def __init__(self, runs: Sequence[RunSpec],
                  controller: BatchController | None = None,
-                 *, workspace: bool | None = None):
-        self._init_group(runs, controller, workspace=workspace)
+                 *, workspace: bool | None = None, telemetry=None):
+        self._init_group(runs, controller, workspace=workspace,
+                         telemetry=telemetry)
         n_slots = self._n_slots
         t_slots = self._t_slots
         systems = self.systems
@@ -282,7 +284,8 @@ class BatchSimulator:
         self._check_prices()
 
     def _init_group(self, runs: Sequence, controller,
-                    workspace: bool | None = None) -> None:
+                    workspace: bool | None = None,
+                    telemetry=None) -> None:
         """Shape checks, controller selection and parameter stacking.
 
         Shared with the streaming subclass, so it only relies on each
@@ -290,6 +293,9 @@ class BatchSimulator:
         resident trace arrays.  ``workspace`` governs both the
         engine's physics workspace and the auto-built controller's
         (an explicitly supplied ``controller`` manages its own knob).
+        ``telemetry`` (``None`` = off) is an explicitly-passed
+        :class:`~repro.telemetry.Telemetry`; instrumentation only
+        reads clocks, so records are bit-identical either way.
         """
         if not runs:
             raise ValueError("need at least one run")
@@ -302,8 +308,11 @@ class BatchSimulator:
                 f"batched systems must share (T, K, slot_hours), got "
                 f"{sorted(shapes)}")
         self.systems = systems
+        self._telemetry = telemetry if telemetry is not None \
+            else TELEMETRY_OFF
         self.controller = controller if controller is not None \
-            else _default_controller(self.runs, workspace=workspace)
+            else _default_controller(self.runs, workspace=workspace,
+                                     telemetry=self._telemetry)
 
         self._n_slots = systems[0].horizon_slots
         self._t_slots = systems[0].fine_slots_per_coarse
@@ -408,12 +417,19 @@ class BatchSimulator:
         return BatchRecorder(self._batch, self._n_slots)
 
     def _advance_slot(self, slot: int, state: _RunState) -> None:
-        """One fine slot for the whole batch: plan, decide, step."""
+        """One fine slot for the whole batch: plan, decide, step.
+
+        Timings are guarded on ``tele.enabled`` so the disabled cost
+        is one attribute check per stage; the instrumentation never
+        touches numeric state (records are bit-identical on/off).
+        """
         t_slots = self._t_slots
         battery, backlog, cycles = state.battery, state.backlog, state.cycles
         coarse = slot // t_slots
+        tele = self._telemetry
 
         if slot % t_slots == 0:
+            t0 = tele.clock() if tele.enabled else 0.0
             gbef = np.asarray(
                 self.controller.plan_long_term(
                     self._coarse_observations(coarse, slot, battery,
@@ -423,6 +439,9 @@ class BatchSimulator:
                                      self._block_cap)
             state.lt_ledger.record(
                 state.block, self._true_plt[:, coarse - self._coarse0])
+            if tele.enabled:
+                tele.add_time("plan", tele.clock() - t0)
+                tele.count("boundaries")
 
         cap = self._capacity[:, slot - self._slot0]
         observed_r = self._obs_ren[:, slot - self._slot0]
@@ -446,6 +465,7 @@ class BatchSimulator:
             xp.maximum(0.0, supply_headroom, out=supply_headroom)
             budget_left = cycles.remaining_into(w.budget_left)
 
+        t0 = tele.clock() if tele.enabled else 0.0
         grt_request, gamma = self.controller.real_time(
             BatchFineObservation(
                 fine_slot=slot,
@@ -461,6 +481,8 @@ class BatchSimulator:
                 supply_headroom=supply_headroom,
                 cycle_budget_left=budget_left,
             ))
+        if tele.enabled:
+            tele.add_time("real_time", tele.clock() - t0)
         grt_request = np.asarray(grt_request, dtype=float)
         gamma = np.asarray(gamma, dtype=float)
         if w is None:
@@ -482,9 +504,12 @@ class BatchSimulator:
                 f"gamma must be in [0, 1], got "
                 f"[{float(gamma.min())}, {float(gamma.max())}]")
 
+        t0 = tele.clock() if tele.enabled else 0.0
         self._step_physics(slot, coarse, rate, grt_request, gamma,
                            battery, backlog, cycles, grid_headroom,
                            state.rt_ledger, state.recorder)
+        if tele.enabled:
+            tele.add_time("physics", tele.clock() - t0)
 
     def _finish_run(self, state: _RunState):
         """Close the horizon and collect per-scenario outputs."""
@@ -826,15 +851,19 @@ class BatchSimulator:
 
 
 def _default_controller(runs: Sequence[RunSpec],
-                        workspace: bool | None = None) -> BatchController:
+                        workspace: bool | None = None,
+                        telemetry=None) -> BatchController:
     """Pick the vectorized controller when every run is SmartDPSS.
 
     ``workspace`` forwards the engine's slot-workspace knob so one
-    flag governs the whole hot path (physics *and* controller).
+    flag governs the whole hot path (physics *and* controller);
+    ``telemetry`` hands the engine's collector to the vectorized
+    controller so its P4/P5 solves land in the same breakdown.
     """
     controllers = _distinct_controllers(runs)
     if all(type(c) is SmartDPSS for c in controllers):
-        return VecSmartDPSS(controllers, workspace=workspace)
+        return VecSmartDPSS(controllers, workspace=workspace,
+                            telemetry=telemetry)
     return ScalarControllerBatch(controllers)
 
 
@@ -877,8 +906,8 @@ def _run_spec_scalar(spec: RunSpec) -> SimulationResult:
 
 
 def run_group_batch(group_runs: Sequence[RunSpec],
-                    workspace: bool | None = None
-                    ) -> list[SimulationResult]:
+                    workspace: bool | None = None,
+                    telemetry=None) -> list[SimulationResult]:
     """Drive one compatible group through the vectorized engine.
 
     Deduplicates shared controller objects first (scalar sweeps may
@@ -886,14 +915,16 @@ def run_group_batch(group_runs: Sequence[RunSpec],
     scalar engine for singleton groups, exactly as the ``"batch"``
     executor does — the process-sharded path reuses this so both
     executors stay bit-identical.  ``workspace`` forwards to
-    :class:`BatchSimulator` (``None`` = the module default).
+    :class:`BatchSimulator` (``None`` = the module default);
+    ``telemetry`` is the shard's collector (``None`` = off).
     """
     if len(group_runs) == 1:
         return [_run_spec_scalar(group_runs[0])]
     specs = [RunSpec(system=r.system, controller=c, traces=r.traces,
                      observed=r.observed, grid_capacity=r.grid_capacity)
              for r, c in zip(group_runs, _distinct_controllers(group_runs))]
-    return BatchSimulator(specs, workspace=workspace).run()
+    return BatchSimulator(specs, workspace=workspace,
+                          telemetry=telemetry).run()
 
 
 def simulate_many(runs: Sequence[RunSpec], executor: str = "batch",

@@ -215,7 +215,7 @@ class CompiledLp:
     def solve(self, c: np.ndarray | None = None,
               b_ub: np.ndarray | None = None,
               b_eq: np.ndarray | None = None,
-              fast: bool = False) -> LpSolution:
+              fast: bool = False, telemetry=None) -> LpSolution:
         """Solve one numeric instance of the compiled structure.
 
         ``c`` / ``b_ub`` / ``b_eq`` override the compiled vectors
@@ -224,6 +224,8 @@ class CompiledLp:
         ``fast`` selects the in-process configuration documented in
         the module docstring — callers must use one consistent value
         per structure so repeated solves stay comparable bitwise.
+        ``telemetry`` (optional) times the solve under the
+        ``lp_solve`` span; the solution is unaffected.
         """
         c = self._c if c is None else np.asarray(c, dtype=float)
         b_ub = self._b_ub if b_ub is None else np.asarray(b_ub,
@@ -242,9 +244,14 @@ class CompiledLp:
             raise SolverError(
                 f"{self.name}: b_eq override has shape {b_eq.shape}, "
                 f"structure has {self._b_eq.shape}")
-        if fast and fast_path_available():
-            return self._solve_fast(c, b_ub, b_eq)
-        return self._solve_linprog(c, b_ub, b_eq)
+        if telemetry is None or not telemetry.enabled:
+            if fast and fast_path_available():
+                return self._solve_fast(c, b_ub, b_eq)
+            return self._solve_linprog(c, b_ub, b_eq)
+        with telemetry.span("lp_solve"):
+            if fast and fast_path_available():
+                return self._solve_fast(c, b_ub, b_eq)
+            return self._solve_linprog(c, b_ub, b_eq)
 
 
 def solve_block_diagonal(compiled: CompiledLp,

@@ -129,6 +129,26 @@ class TestCli:
         assert "12 records" in captured
         assert "time_avg_cost" in captured
 
+    @pytest.mark.telemetry
+    def test_run_with_telemetry_and_stats(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        assert main(["run", "--demo", "v-sweep", "--scenarios", "8",
+                     "--days", "1", "--t-slots", "6",
+                     "--out", str(out), "--batch-size", "4",
+                     "--telemetry"]) == 0
+        assert main(["stats", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "slot_loop" in captured
+        assert "scenarios/s" in captured
+        assert "counters:" in captured
+
+    def test_stats_without_manifest_errors(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        assert main(["run", "--demo", "v-sweep", "--scenarios", "2",
+                     "--out", str(out)]) == 0
+        assert main(["stats", str(out)]) == 1
+        assert "no run manifests" in capsys.readouterr().err
+
     def test_run_spec_file(self, tmp_path):
         fleet = [spec.to_dict() for spec in tiny_fleet()[:3]]
         spec_file = tmp_path / "fleet.json"
