@@ -4,8 +4,9 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-fast test-equivalence test-backend test-telemetry \
-	bench-smoke bench-batch bench-fleet bench-traces bench-plan \
-	bench-backend bench-offline bench-telemetry benchmarks
+	test-faults bench-smoke bench-batch bench-fleet bench-traces \
+	bench-plan bench-backend bench-offline bench-telemetry \
+	bench-faults benchmarks
 
 # Tier-1 verify: the full suite, fail-fast.
 test:
@@ -29,6 +30,13 @@ test-backend:
 # (the `telemetry` marker; `make test` runs these as part of tier-1).
 test-telemetry:
 	$(PY) -m pytest -q -m telemetry
+
+# Chaos suite only: deterministic fault injection through every fleet
+# recovery path — retry, bisection, quarantine, pool respawn, torn
+# writes (the `faults` marker; `make test` runs these as part of
+# tier-1).
+test-faults:
+	$(PY) -m pytest -q -m faults
 
 # Tiny batch-vs-serial canary: fails if the batch engine errors,
 # diverges from the scalar engine, or regresses past 2x serial.
@@ -72,6 +80,13 @@ bench-offline:
 # <= 2% CPU overhead; writes BENCH_telemetry.json.
 bench-telemetry:
 	$(PY) benchmarks/bench_telemetry.py
+
+# Fault-harness overhead: disarmed vs armed-but-never-firing plan on
+# the 10^4-scenario streamed sweep, paired per shard, gated on
+# bit-identical records and <= 2% CPU overhead; writes
+# BENCH_faults.json.
+bench-faults:
+	$(PY) benchmarks/bench_faults.py
 
 # Figure-regeneration benchmarks (pytest-benchmark suite).
 benchmarks:

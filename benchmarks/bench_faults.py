@@ -1,0 +1,187 @@
+"""Fault-harness overhead benchmark: disarmed vs armed-but-quiet sweep.
+
+One measurement, written to ``BENCH_faults.json`` at the repo root
+(see benchmarks/README.md for how to read it): the 10⁴-scenario
+streamed v-sweep (the CLI demo fleet) with the fault-injection harness
+disarmed (no fault keys in the payload — the production state) and
+armed with a plan that never fires (every fault pinned to a scenario
+name that does not exist — the realistic armed shape: a plan pinned
+to one scenario in a 10⁴ fleet leaves every other shard unmatched, so
+``ShardFaults`` must resolve it to zero per-slot work at bind time).
+Two gates make the verdict real:
+
+1. **Bit-identity** — the armed run's records must equal the disarmed
+   run's records exactly (a quiet harness only scans fault lists,
+   never numeric state).  A single differing bit fails the benchmark
+   outright.
+2. **Overhead ceiling** — the armed-but-quiet harness may cost at most
+   2 % extra process CPU time; the disarmed path is the engine's
+   normal operating point and is what every other benchmark measures.
+
+The arms are paired at *shard* granularity with alternating order
+(exactly as ``bench_telemetry.py`` — see its docstring for why paired
+shards beat timing two whole sweeps for a 2 % effect).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py            # full
+    PYTHONPATH=src python benchmarks/bench_faults.py --quick    # small
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.fleet.faults import Fault, FaultPlan  # noqa: E402
+from repro.fleet.runner import FleetRunner, _run_spec_shard  # noqa: E402
+from repro.fleet.__main__ import build_demo_fleet  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_faults.json"
+
+#: Acceptance ceiling: armed-but-quiet CPU time over disarmed.
+MAX_OVERHEAD = 0.02
+
+#: Never matches a real scenario: the armed arm pays the bind-time
+#: scan (every fault against every shard scenario) and must resolve to
+#: zero per-slot work — the state of every unmatched shard whenever a
+#: plan pins faults to specific scenarios.
+QUIET_PLAN = FaultPlan(faults=(
+    Fault(site="slot_loop", scenario="__bench_no_such_scenario__",
+          times=None),
+    Fault(site="traces", scenario="__bench_no_such_scenario__",
+          times=None),
+    Fault(site="plan", scenario="__bench_no_such_scenario__",
+          times=None),
+))
+
+
+def canonical(outcomes: list) -> str:
+    """One arm's records, ordered by spec position, as canonical JSON."""
+    rows = [(index, record) for outcome in outcomes
+            for index, record in zip(outcome.indices, outcome.records)]
+    rows.sort(key=lambda row: row[0])
+    return json.dumps([record for _, record in rows], sort_keys=True)
+
+
+def armed(payload: dict) -> dict:
+    """The payload as the runner would stamp it with a plan attached."""
+    return dict(payload, fault_plan=QUIET_PLAN.to_dict(),
+                attempts=[0] * len(payload["indices"]),
+                in_worker=False)
+
+
+def measure(n_scenarios: int, batch_size: int, repeats: int) -> dict:
+    specs = build_demo_fleet("v-sweep", n_scenarios, days=1, t_slots=6,
+                             sample_seed=0)
+    payloads = FleetRunner(specs, batch_size=batch_size,
+                           fault_plan=FaultPlan()).shards()
+
+    # Warm every lazily-compiled structure and cache so neither arm
+    # pays cold-start costs inside the paired loop.
+    for payload in payloads[: min(8, len(payloads))]:
+        _run_spec_shard(armed(payload))
+
+    ratios = []
+    off_totals, on_totals = [], []
+    identical = None
+    for repeat in range(repeats):
+        off_cpu = on_cpu = 0.0
+        outcomes: dict[str, list] = {"off": [], "on": []}
+        for i, payload in enumerate(payloads):
+            # Alternate which arm goes first (and flip per repeat) so
+            # second-run cache warmth and slow drift cancel.
+            order = (("off", "on") if (i + repeat) % 2 == 0
+                     else ("on", "off"))
+            for arm in order:
+                shard = armed(payload) if arm == "on" else dict(payload)
+                cpu0 = time.process_time()
+                outcome = _run_spec_shard(shard)
+                elapsed = time.process_time() - cpu0
+                if arm == "on":
+                    on_cpu += elapsed
+                else:
+                    off_cpu += elapsed
+                outcomes[arm].append(outcome)
+        if identical is None:  # record contents never vary per repeat
+            identical = canonical(outcomes["on"]) \
+                == canonical(outcomes["off"])
+        ratio = on_cpu / off_cpu - 1
+        ratios.append(ratio)
+        off_totals.append(off_cpu)
+        on_totals.append(on_cpu)
+        print(f"  repeat {repeat + 1}/{repeats}: cpu disarmed "
+              f"{off_cpu:6.2f}s, armed {on_cpu:6.2f}s "
+              f"({100 * ratio:+.2f}%)")
+
+    overhead = statistics.median(ratios)
+    return {
+        "n_scenarios": n_scenarios,
+        "batch_size": batch_size,
+        "shards": len(payloads),
+        "repeats": repeats,
+        "disarmed_cpu_s": [round(c, 3) for c in off_totals],
+        "armed_cpu_s": [round(c, 3) for c in on_totals],
+        "overhead_per_repeat": [round(r, 4) for r in ratios],
+        "overhead": round(overhead, 4),
+        "records_identical": bool(identical),
+        "scenarios_per_s": round(n_scenarios / min(off_totals), 1),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny fleet, no JSON output")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        result = measure(n_scenarios=200, batch_size=64, repeats=3)
+        # Sub-second totals cannot resolve a 2 % effect; quick mode
+        # gates only the bit-identity contract.
+        target_met = bool(result["records_identical"])
+    else:
+        result = measure(n_scenarios=10_000, batch_size=64, repeats=5)
+        target_met = bool(result["records_identical"]
+                          and result["overhead"] <= MAX_OVERHEAD)
+    payload = {
+        "workload": ("streamed v-sweep demo fleet "
+                     f"({result['n_scenarios']} scenarios, 1-day "
+                     "horizon, T=6), fault harness disarmed vs armed "
+                     "with a never-firing plan, paired per shard, "
+                     f"median of {result['repeats']} repeats"),
+        "target": ("armed-but-quiet records bit-identical to "
+                   "disarmed; armed overhead <= "
+                   f"{100 * MAX_OVERHEAD:.0f}% process CPU time"),
+        "target_met": target_met,
+        "max_overhead": MAX_OVERHEAD,
+        "measurement": result,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+    print(f"\n  identical={result['records_identical']}, overhead "
+          f"{100 * result['overhead']:+.2f}% "
+          f"(ceiling {100 * MAX_OVERHEAD:.0f}%)")
+    if not args.quick:
+        OUTPUT.write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+        print(f"wrote {OUTPUT} (target met: {target_met})")
+    return 0 if target_met else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,3 +69,63 @@ class TraceError(ReproError):
 
 class HorizonMismatchError(TraceError):
     """Traces and the simulation horizon disagree on the slot count."""
+
+
+class TraceCorruptionError(TraceError):
+    """A NaN/Inf trace value was detected at a chunk boundary.
+
+    Raised by the streamed engine's per-chunk finiteness scan, naming
+    the offending scenario (batch position and seed, when known) and
+    the absolute slot so the fleet runner can quarantine exactly that
+    scenario instead of bisecting the whole shard.  Fleet errors cross
+    the worker process boundary, so :meth:`__reduce__` preserves the
+    structured fields through pickling.
+    """
+
+    def __init__(self, message: str, scenario: int | None = None,
+                 slot: int | None = None, seed: int | None = None):
+        super().__init__(message)
+        self.scenario = scenario
+        self.slot = slot
+        self.seed = seed
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.scenario, self.slot,
+                             self.seed))
+
+
+class FaultInjectionError(ReproError):
+    """An error raised on purpose by the fault-injection harness.
+
+    Only :mod:`repro.fleet.faults` raises this; seeing one outside a
+    chaos test means an armed :class:`~repro.fleet.faults.FaultPlan`
+    leaked into a production run (check ``REPRO_FAULT_PLAN``).
+    Picklable across the worker boundary like every fleet error.
+    """
+
+    def __init__(self, message: str, site: str | None = None,
+                 scenario: object = None):
+        super().__init__(message)
+        self.site = site
+        self.scenario = scenario
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.site, self.scenario))
+
+
+class ShardTimeoutError(ReproError):
+    """A fleet shard exceeded the runner's per-shard wall-clock budget.
+
+    Raised parent-side only (the worker is terminated, not signalled),
+    so it never crosses the process boundary.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A fleet worker process died mid-shard (OOM kill, segfault,
+    injected ``worker_kill`` fault).
+
+    The parent wraps the executor's ``BrokenProcessPool`` in this type
+    so quarantine records carry a library error taxonomy instead of a
+    ``concurrent.futures`` internal.
+    """

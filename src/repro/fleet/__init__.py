@@ -40,6 +40,41 @@ are bit-identical with telemetry on or off: span timers only read the
 monotonic clock, never numeric state.  Disabled (the default), every
 instrumented site costs one attribute check.
 
+Failure semantics
+-----------------
+One poisoned scenario or one dead worker must not kill a 10⁴-scenario
+sweep.  Unless ``FleetRunner(fail_fast=True)``:
+
+* A shard exception, a worker crash (``BrokenProcessPool`` — the pool
+  is respawned) or an expired ``shard_timeout`` sends the shard
+  through **retry → bisect → quarantine**: up to ``max_retries``
+  as-is re-runs with bounded exponential backoff, then repeated
+  halving until the failure is pinned to one scenario, which is
+  recorded in the store's ``errors.jsonl`` sidecar as a typed record
+  (``{"spec", "spec_hash", "quarantined": true, "error": {"type",
+  "message", "site", "attempts"}}`` — same torn-write-tolerant append
+  discipline as results).  Every healthy scenario completes
+  bit-identical to a fault-free run.
+* Offline-gap LP failures degrade per scenario: the record simply
+  omits its ``offline_cost``/``offline_gap`` columns instead of
+  failing the shard.
+* NaN/Inf trace values are caught at chunk boundaries with a typed
+  :class:`~repro.exceptions.TraceCorruptionError` naming scenario and
+  slot, which quarantines directly — no bisection needed.
+* On resume, a quarantined hash counts as done (re-running would
+  re-fail) until ``retry_quarantined=True`` (CLI
+  ``--retry-quarantined``) re-offers it; a successful retry's result
+  record then supersedes the quarantine record.
+
+Counters (``retries`` / ``bisections`` / ``quarantined`` /
+``pool_respawns``) land in :attr:`FleetRunner.last_run_stats` and, on
+instrumented runs, in the run manifest.  Every recovery path is
+exercised deterministically by the chaos suite
+(``tests/test_fleet_faults.py``) through the seedable
+:class:`~repro.fleet.faults.FaultPlan` harness — injectable via
+``FleetRunner(fault_plan=...)`` or the ``REPRO_FAULT_PLAN``
+environment variable, and *disarmed entirely* in production runs.
+
 The streamed path is gated by ``tests/equivalence/``: for identical
 specs it is bit-identical to the in-memory batch engine (which is
 itself bit-identical to the scalar reference engine).
@@ -51,6 +86,7 @@ from repro.fleet.engine import (
     StreamRunSpec,
     simulate_stream,
 )
+from repro.fleet.faults import Fault, FaultPlan
 from repro.fleet.runner import (
     FleetRunner,
     ShardOutcome,
@@ -73,6 +109,8 @@ from repro.fleet.stream import (
 __all__ = [
     "ArrayTraceStream",
     "BatchTraceStream",
+    "Fault",
+    "FaultPlan",
     "FleetRunner",
     "ResultStore",
     "ScenarioMetrics",

@@ -142,7 +142,11 @@ def cmd_run(args: argparse.Namespace) -> int:
                          max_workers=args.workers, store=store,
                          resume=not args.no_resume,
                          offline_gap=args.offline_gap,
-                         telemetry=args.telemetry)
+                         telemetry=args.telemetry,
+                         max_retries=args.max_retries,
+                         shard_timeout=args.shard_timeout,
+                         fail_fast=args.fail_fast,
+                         retry_quarantined=args.retry_quarantined)
 
     t0 = time.perf_counter()
 
@@ -179,6 +183,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     summary = (f"completed {len(specs)} scenarios in {elapsed:.2f}s "
                f"({len(specs) / elapsed:.0f} scenarios/s); results in "
                f"{store.path}")
+    stats = runner.last_run_stats or {}
+    if stats.get("quarantined"):
+        logger.warning(
+            "%d scenario(s) quarantined (%d retries, %d pool respawns) "
+            "— typed reasons in %s; re-offer them with "
+            "--retry-quarantined", stats["quarantined"],
+            stats.get("retries", 0), stats.get("pool_respawns", 0),
+            store.error_path)
     if runner.last_manifest is not None:
         split = stage_split(runner.last_manifest.stages)
         if split:
@@ -206,25 +218,55 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_quarantine(store: ResultStore) -> bool:
+    """Print the quarantined-scenario view; True if any exist."""
+    errors = store.errors()
+    if not errors:
+        return False
+    # A scenario that later succeeded (retry-quarantined rerun) is no
+    # longer quarantined — only show hashes without a result record.
+    resolved = store.spec_hashes()
+    active = [record for record in errors
+              if record.get("spec_hash") not in resolved]
+    print(f"quarantined scenarios: {len(active)} active "
+          f"({len(errors)} quarantine record(s) in {store.error_path})")
+    for record in active:
+        error = record.get("error", {})
+        site = error.get("site")
+        print(f"  {record.get('name', '?')} (seed {record.get('seed')}):"
+              f" {error.get('type', '?')}"
+              + (f" at {site!r}" if site else "")
+              + f" after {error.get('attempts', '?')} attempt(s) — "
+              + str(error.get("message", ""))[:100])
+    if active:
+        print("  (re-offer with: python -m repro.fleet run ... "
+              "--retry-quarantined)")
+    return True
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
-    """Render run manifests stored in a result store's sidecar."""
+    """Render run manifests (and quarantined scenarios) of a store."""
     store = ResultStore(args.store)
     manifests = store.manifests()
-    if not manifests:
+    shown = 0
+    if manifests:
+        selected = manifests if args.all else manifests[-1:]
+        for data in selected:
+            if shown:
+                print()
+            print(RunManifest.from_dict(data).render())
+            shown += 1
+        if not args.all and len(manifests) > 1:
+            print(f"({len(manifests) - 1} earlier run(s) stored; "
+                  f"--all shows every manifest)")
+    if shown:
+        print()
+    had_errors = _render_quarantine(store)
+    if not manifests and not had_errors:
         logger.error(
             "no run manifests in %s — run the fleet with --telemetry "
             "to record one", store.manifest_path)
         return 1
-    selected = manifests if args.all else manifests[-1:]
-    shown = 0
-    for data in selected:
-        if shown:
-            print()
-        print(RunManifest.from_dict(data).render())
-        shown += 1
-    if not args.all and len(manifests) > 1:
-        print(f"({len(manifests) - 1} earlier run(s) stored; "
-              f"--all shows every manifest)")
     return 0
 
 
@@ -276,6 +318,19 @@ def build_parser() -> argparse.ArgumentParser:
                           "already stored (default: skip them and "
                           "serve the stored records — interrupted "
                           "sweeps resume cheaply)")
+    run.add_argument("--max-retries", type=int, default=2,
+                     help="times a failing shard is re-run as-is before "
+                          "bisection (default: 2)")
+    run.add_argument("--shard-timeout", type=float, default=None,
+                     help="per-shard wall-clock budget in seconds "
+                          "(pool mode; default: none)")
+    run.add_argument("--fail-fast", action="store_true",
+                     help="abort on the first shard failure instead of "
+                          "retrying/bisecting/quarantining")
+    run.add_argument("--retry-quarantined", action="store_true",
+                     help="re-offer scenarios previously quarantined "
+                          "in errors.jsonl (default: treat them as "
+                          "done on resume)")
     run.add_argument("--sample-seed", type=int, default=0,
                      help="root seed for --demo random")
     run.add_argument("--verbose", action="store_true",

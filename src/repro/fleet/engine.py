@@ -45,7 +45,12 @@ import numpy as np
 
 from repro.config.system import SystemConfig
 from repro.core.interfaces import Controller
-from repro.exceptions import HorizonMismatchError, InfeasibleActionError
+from repro.exceptions import (
+    ConfigurationError,
+    HorizonMismatchError,
+    InfeasibleActionError,
+    TraceCorruptionError,
+)
 from repro.fleet.stream import BatchTraceStream, TraceStream
 from repro.sim.batch import BatchController, BatchSimulator, _RunState
 from repro.sim.results import SimulationResult
@@ -338,12 +343,17 @@ class StreamingBatchSimulator(BatchSimulator):
     def __init__(self, runs: Sequence[StreamRunSpec],
                  controller: BatchController | None = None,
                  *, chunk_coarse: int = 4, batch_traces: bool = True,
-                 workspace: bool | None = None, telemetry=None):
+                 workspace: bool | None = None, telemetry=None,
+                 faults=None):
         self._init_group(runs, controller, workspace=workspace,
                          telemetry=telemetry)
         if chunk_coarse < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"chunk_coarse must be >= 1, got {chunk_coarse}")
+        #: Optional :class:`~repro.fleet.faults.ShardFaults` — chaos
+        #: hooks at the ``traces``/``plan``/``slot_loop`` sites.  None
+        #: (the default) costs one identity check per chunk.
+        self._faults = faults
         for run in self.runs:
             if run.stream.n_slots < self._n_slots:
                 raise HorizonMismatchError(
@@ -417,6 +427,10 @@ class StreamingBatchSimulator(BatchSimulator):
                 rows.append(capacity[self._slot0:stop])
         self._capacity = np.stack(rows)
 
+        if self._faults is not None:
+            self._faults.fire("traces", slot=start)
+            self._corrupt_chunk(start, stop)
+        self._check_chunk_finite(start, stop)
         self._check_chunk_prices(start)
         return {
             "demand_ds": self._true_dds[:, -t_slots:],
@@ -452,6 +466,54 @@ class StreamingBatchSimulator(BatchSimulator):
         }
         price_lt = block.coarse_prices(self._t_slots)
         return self._install_chunk(columns, price_lt, start, stop, tail)
+
+    #: Fine-grained series attributes the corruption / finiteness
+    #: passes walk (true view; the observed view aliases it).
+    _SERIES_ATTRS = (("demand_ds", "_true_dds"), ("demand_dt", "_true_ddt"),
+                     ("renewable", "_true_ren"), ("price_rt", "_true_prt"))
+
+    def _corrupt_chunk(self, start: int, stop: int) -> None:
+        """Apply ``nan`` faults landing in ``[start, stop)``.
+
+        Chunk columns may alias frozen :class:`TraceBlock` arrays, so
+        a targeted series is copied before poisoning (and the observed
+        alias re-pointed); healthy series keep their zero-copy path.
+        """
+        local0 = start - self._slot0
+        for scenario, series, slot in self._faults.nan_targets(start,
+                                                               stop):
+            attr = dict(self._SERIES_ATTRS)[series]
+            block = getattr(self, attr)
+            if not block.flags.writeable:
+                block = block.copy()
+                setattr(self, attr, block)
+                setattr(self, attr.replace("_true_", "_obs_"), block)
+            block[scenario, local0 + (slot - start)] = np.nan
+
+    def _check_chunk_finite(self, start: int, stop: int) -> None:
+        """Reject NaN/Inf trace values as each chunk loads.
+
+        Kernel-generated chunks bypass the :class:`TraceSet`
+        constructor validation the in-memory path gets for free, so
+        the streamed engine scans every loaded window (four batched
+        ``isfinite`` reductions) and raises a typed
+        :class:`TraceCorruptionError` naming the scenario position,
+        seed and absolute slot — precise enough for the fleet runner
+        to quarantine exactly that scenario without bisection.
+        """
+        local = start - self._slot0
+        for name, attr in self._SERIES_ATTRS:
+            window = getattr(self, attr)[:, local:]
+            finite = np.isfinite(window)
+            if finite.all():
+                continue
+            scenario, offset = np.argwhere(~finite)[0]
+            scenario, slot = int(scenario), start + int(offset)
+            seed = self._seeds[scenario]
+            raise TraceCorruptionError(
+                f"non-finite value in trace series {name!r} at slot "
+                f"{slot} (scenario position {scenario}, seed {seed})",
+                scenario=scenario, slot=slot, seed=seed)
 
     def _check_chunk_prices(self, start: int) -> None:
         """Chunkwise twin of ``BatchSimulator._check_prices``.
@@ -498,6 +560,9 @@ class StreamingBatchSimulator(BatchSimulator):
         bit-identical with telemetry on or off.
         """
         tele = self._telemetry
+        faults = self._faults
+        fire_slots = faults is not None and (
+            faults.active("slot_loop") or faults.active("plan"))
         state = self._begin_run()
         if self._batch_source is not None:
             batch_cursor = self._batch_source.open()
@@ -521,6 +586,9 @@ class StreamingBatchSimulator(BatchSimulator):
                 tele.count("chunks")
                 t0 = tele.clock()
             for slot in range(start, stop):
+                if fire_slots:
+                    faults.fire("plan" if slot % self._t_slots == 0
+                                else "slot_loop", slot=slot)
                 self._advance_slot(slot, state)
             if tele.enabled:
                 tele.add_time("slot_loop", tele.clock() - t0)

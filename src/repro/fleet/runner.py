@@ -29,20 +29,31 @@ import inspect
 import math
 import os
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace as dataclass_replace
-from typing import Callable, Iterable, Sequence
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.baselines.offline import (
     OfflineOptimal,
     OfflinePlanBatch,
     solve_offline_plan_batch,
 )
+from repro.exceptions import (
+    ConfigurationError,
+    ShardTimeoutError,
+    SolverError,
+    TraceCorruptionError,
+    WorkerCrashError,
+)
 from repro.fleet.engine import (
     ScenarioMetrics,
     StreamingBatchSimulator,
     StreamRunSpec,
 )
+from repro.fleet.faults import FaultPlan
 from repro.fleet.spec import ScenarioSpec
 from repro.fleet.stream import ArrayTraceStream
 from repro.sim.batch import RunSpec, run_group_batch
@@ -75,9 +86,31 @@ def _cpu_count() -> int:
 def _split_shards(indices: Sequence[int], shard_size: int) -> list[list[int]]:
     """Split one group's indices into shards of at most ``shard_size``."""
     if shard_size < 1:
-        raise ValueError(f"shard size must be >= 1, got {shard_size}")
+        raise ConfigurationError(
+            f"shard size must be >= 1, got {shard_size}")
     return [list(indices[start:start + shard_size])
             for start in range(0, len(indices), shard_size)]
+
+
+def _tear_last_line(path: Path) -> None:
+    """Truncate ``path`` mid-way through its final line.
+
+    The ``torn`` fault action: simulates a writer killed mid-append,
+    leaving the partial-line state the store readers (and resume) must
+    tolerate.  No-op on empty or single-character lines.
+    """
+    if not path.exists():
+        return
+    data = path.read_bytes()
+    if not data:
+        return
+    body = data[:-1] if data.endswith(b"\n") else data
+    cut = body.rfind(b"\n") + 1
+    last = body[cut:]
+    if len(last) < 2:
+        return
+    with path.open("rb+") as handle:
+        handle.truncate(cut + len(last) // 2)
 
 
 @dataclass(frozen=True)
@@ -137,7 +170,7 @@ def _attach_offline_gap(systems: "list", traces_list: "list[TraceSet]",
                         metrics: "list[ScenarioMetrics]",
                         chunk_coarse: int,
                         workspace: bool | None,
-                        telemetry=None
+                        telemetry=None, faults=None
                         ) -> "list[ScenarioMetrics]":
     """Add the offline-gap columns to one shard's metrics.
 
@@ -150,37 +183,73 @@ def _attach_offline_gap(systems: "list", traces_list: "list[TraceSet]",
     through the scalar engine (the equivalence tests pin this), so the
     gap column is an honest same-accounting comparison, not an
     LP-objective shortcut.
+
+    Graceful degradation: an LP failure
+    (:class:`~repro.exceptions.SolverError` — iteration limit,
+    infeasible, unbounded) does not fail the shard.  The group falls
+    back to per-scenario solves so one bad LP costs only its own
+    scenario, whose record simply *omits* the ``offline_cost`` /
+    ``offline_gap`` columns (the telemetry counter
+    ``offline_degraded`` counts such scenarios).
     """
     tele = telemetry
     by_system: dict[object, list[int]] = {}
     for index, system in enumerate(systems):
         by_system.setdefault(system, []).append(index)
     plans = [None] * len(systems)
+    degraded = 0
     t0 = tele.clock() if tele is not None and tele.enabled else 0.0
     for system, indices in by_system.items():
-        block = TraceBlock.from_tracesets(
-            [traces_list[i] for i in indices])
-        for i, plan in zip(indices,
-                           solve_offline_plan_batch(
-                               system, block, telemetry=tele)):
-            plans[i] = plan
+        try:
+            if faults is not None:
+                faults.fire("lp_solve", subset=indices)
+            block = TraceBlock.from_tracesets(
+                [traces_list[i] for i in indices])
+            for i, plan in zip(indices,
+                               solve_offline_plan_batch(
+                                   system, block, telemetry=tele)):
+                plans[i] = plan
+        except SolverError:
+            # The batch solve died; retry scenario-by-scenario so the
+            # failure is pinned to (and only costs) its own scenario.
+            for i in indices:
+                try:
+                    if faults is not None:
+                        faults.fire("lp_solve", subset=[i])
+                    block = TraceBlock.from_tracesets([traces_list[i]])
+                    plans[i] = solve_offline_plan_batch(
+                        system, block, telemetry=tele)[0]
+                except SolverError:
+                    plans[i] = None
+                    degraded += 1
     if tele is not None and tele.enabled:
         tele.add_time("offline_lp", tele.clock() - t0)
+        if degraded:
+            tele.count("offline_degraded", degraded)
         t0 = tele.clock()
-    runs = [StreamRunSpec(system=systems[i],
-                          controller=OfflineOptimal(None, plan=plans[i]),
-                          stream=ArrayTraceStream(traces_list[i]))
-            for i in range(len(systems))]
-    # The replay engine is deliberately *not* instrumented: its
-    # slot-loop time belongs to the single ``offline_replay`` stage,
-    # not to the policy run's plan/real_time/physics breakdown.
-    replay = StreamingBatchSimulator(
-        runs, controller=OfflinePlanBatch(plans),
-        chunk_coarse=chunk_coarse, workspace=workspace).run()
+    planned = [i for i in range(len(systems)) if plans[i] is not None]
+    replay_by_index: dict[int, ScenarioMetrics] = {}
+    if planned:
+        runs = [StreamRunSpec(
+                    system=systems[i],
+                    controller=OfflineOptimal(None, plan=plans[i]),
+                    stream=ArrayTraceStream(traces_list[i]))
+                for i in planned]
+        # The replay engine is deliberately *not* instrumented: its
+        # slot-loop time belongs to the single ``offline_replay`` stage,
+        # not to the policy run's plan/real_time/physics breakdown.
+        replay = StreamingBatchSimulator(
+            runs, controller=OfflinePlanBatch([plans[i] for i in planned]),
+            chunk_coarse=chunk_coarse, workspace=workspace).run()
+        replay_by_index = dict(zip(planned, replay))
     if tele is not None and tele.enabled:
         tele.add_time("offline_replay", tele.clock() - t0)
     out = []
-    for metric, offline in zip(metrics, replay):
+    for index, metric in enumerate(metrics):
+        offline = replay_by_index.get(index)
+        if offline is None:
+            out.append(metric)  # degraded: offline columns stay omitted
+            continue
         offline_cost = float(offline.time_avg_cost)
         policy_cost = float(metric.time_avg_cost)
         gap = ((policy_cost - offline_cost) / abs(offline_cost)
@@ -207,6 +276,13 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
     :class:`~repro.telemetry.Telemetry` collector (explicitly passed
     down to the engine and controller — workers share nothing) and
     returns its snapshot on :attr:`ShardOutcome.telemetry`.
+
+    With a ``fault_plan`` in the payload (chaos tests only), a
+    :class:`~repro.fleet.faults.ShardFaults` view is bound from the
+    parent-stamped per-scenario ``attempts`` counts and threaded into
+    the engine and the offline-gap solver.  Payloads without fault
+    keys skip the harness entirely — the disabled path costs one dict
+    lookup per shard.
     """
     t0 = time.perf_counter()
     specs = [ScenarioSpec.from_dict(data) for data in payload["specs"]]
@@ -216,6 +292,12 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
     offline_gap = bool(payload.get("offline_gap", False))
     workspace = payload.get("workspace")
     tele = Telemetry() if payload.get("telemetry") else None
+    faults = None
+    if payload.get("fault_plan"):
+        faults = FaultPlan.from_dict(payload["fault_plan"]).bind(
+            [(spec.name, spec.seed) for spec in specs],
+            payload.get("attempts"),
+            in_worker=bool(payload.get("in_worker", False)))
 
     build_t0 = tele.clock() if tele is not None else 0.0
     systems = []
@@ -242,7 +324,7 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
         metrics = StreamingBatchSimulator(
             runs, chunk_coarse=chunk_coarse,
             batch_traces=batch_traces, workspace=workspace,
-            telemetry=tele).run()
+            telemetry=tele, faults=faults).run()
         engine = "stream"
     else:
         run_specs = []
@@ -257,6 +339,15 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
                 traces=traces))
         if tele is not None:
             tele.add_time("build", tele.clock() - build_t0)
+        if faults is not None:
+            # The in-memory engine has no chunk loop, so engine-level
+            # fire sites collapse to one pre-run check each (slot
+            # gating is meaningless here; ``nan`` faults need the
+            # streamed path — TraceSet construction above already
+            # validated finiteness).
+            faults.fire("traces")
+            faults.fire("plan")
+            faults.fire("slot_loop")
         results = run_group_batch(run_specs, workspace=workspace,
                                   telemetry=tele)
         metrics = [ScenarioMetrics.from_result(result, seed=spec.seed)
@@ -266,7 +357,7 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
     if offline_gap:
         metrics = _attach_offline_gap(systems, traces_list, metrics,
                                       chunk_coarse, workspace,
-                                      telemetry=tele)
+                                      telemetry=tele, faults=faults)
 
     records = tuple(
         {
@@ -351,6 +442,37 @@ class FleetRunner:
         telemetry on or off (instrumentation only reads clocks), at
         roughly 1–2 % wall-clock cost when on and one attribute check
         per stage when off.
+    max_retries:
+        How many times a failing shard is re-run as-is (with bounded
+        exponential backoff) before it is bisected; the retry budget
+        applies independently to each bisection half.  ``0`` bisects
+        immediately on the first failure.
+    shard_timeout:
+        Per-shard wall-clock budget in seconds (pool mode only —
+        in-process shards cannot be preempted).  An expired shard's
+        workers are terminated, the pool is respawned, and the shard
+        enters the same retry/bisect/quarantine lifecycle as a crash.
+    fail_fast:
+        Restore the all-or-nothing behavior: the first shard failure
+        aborts the run (after pool shutdown) instead of being retried.
+    fault_plan:
+        A :class:`~repro.fleet.faults.FaultPlan` (or its dict form)
+        arming the chaos harness; ``None`` falls back to the
+        ``REPRO_FAULT_PLAN`` environment variable, and an unset
+        variable disarms the harness entirely (the production state).
+    retry_quarantined:
+        With a store and ``resume``, re-offer scenarios whose hash
+        appears only in ``errors.jsonl`` (normally a quarantined
+        scenario is treated as done — re-running it would re-fail).
+    retry_backoff_s:
+        Base of the exponential retry backoff (attempt ``k`` sleeps
+        ``min(2.0, retry_backoff_s * 2**(k-1))`` seconds); ``0``
+        disables sleeping (tests).
+
+    After every :meth:`run`, :attr:`last_run_stats` holds the
+    fault-tolerance counters (``retries`` / ``bisections`` /
+    ``quarantined`` / ``pool_respawns`` plus executed/skipped counts);
+    instrumented runs also fold them into the manifest counters.
     """
 
     def __init__(self, specs: Iterable[ScenarioSpec], *,
@@ -361,12 +483,35 @@ class FleetRunner:
                  batch_traces: bool = True,
                  workspace: bool | None = None,
                  offline_gap: bool = False,
-                 telemetry: bool = False):
+                 telemetry: bool = False,
+                 max_retries: int = 2,
+                 shard_timeout: float | None = None,
+                 fail_fast: bool = False,
+                 fault_plan=None,
+                 retry_quarantined: bool = False,
+                 retry_backoff_s: float = 0.05):
         self.specs = list(specs)
         if not self.specs:
-            raise ValueError("fleet has no scenarios")
+            raise ConfigurationError("fleet has no scenarios")
         if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}")
+        if chunk_coarse < 1:
+            raise ConfigurationError(
+                f"chunk_coarse must be >= 1, got {chunk_coarse}")
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1 (or None for in-process "
+                f"execution), got {max_workers}")
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ConfigurationError(
+                f"shard_timeout must be > 0 seconds, got {shard_timeout}")
+        if retry_backoff_s < 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
         self.batch_size = batch_size
         self.chunk_coarse = chunk_coarse
         self.max_workers = max_workers
@@ -376,10 +521,22 @@ class FleetRunner:
         self.workspace = workspace
         self.offline_gap = offline_gap
         self.telemetry = bool(telemetry)
+        self.max_retries = max_retries
+        self.shard_timeout = shard_timeout
+        self.fail_fast = fail_fast
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
+        elif isinstance(fault_plan, Mapping):
+            fault_plan = FaultPlan.from_dict(fault_plan)
+        self.fault_plan = fault_plan
+        self.retry_quarantined = retry_quarantined
+        self.retry_backoff_s = retry_backoff_s
         #: Run-level telemetry of the most recent :meth:`run` (``None``
         #: until an instrumented run finishes).
         self.last_manifest = None
         self.last_telemetry: TelemetrySnapshot | None = None
+        #: Fault-tolerance counters of the most recent :meth:`run`.
+        self.last_run_stats: dict | None = None
         self._payloads: list[dict] | None = None
 
     # ------------------------------------------------------------------
@@ -422,15 +579,27 @@ class FleetRunner:
         return self._payloads
 
     def _resume_index(self) -> dict[int, dict]:
-        """Spec positions already satisfied by stored records."""
+        """Spec positions already satisfied by stored records.
+
+        A hash present only in ``errors.jsonl`` counts as satisfied
+        too — its quarantine record is served in place of a metrics
+        record, since re-running a quarantined scenario would re-fail
+        — unless ``retry_quarantined`` asks for another attempt.  A
+        result record always wins over a quarantine record (a later
+        successful retry clears the quarantine).
+        """
         if self.store is None or not self.resume:
             return {}
         stored = self.store.latest_by_hash()
-        if not stored:
+        quarantined = ({} if self.retry_quarantined
+                       else self.store.quarantined_by_hash())
+        if not stored and not quarantined:
             return {}
         skipped: dict[int, dict] = {}
         for index, spec in enumerate(self.specs):
             record = stored.get(spec.spec_hash())
+            if record is None:
+                record = quarantined.get(spec.spec_hash())
             if record is not None:
                 skipped[index] = record
         return skipped
@@ -438,6 +607,89 @@ class FleetRunner:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+
+    def _stamp(self, payload: dict, in_worker: bool,
+               scenario_attempts: Mapping[int, int]) -> dict:
+        """Arm a payload with the fault plan + current attempt counts.
+
+        Called at submit time (attempt counts change between retries,
+        which is what makes retried faults with ``times=N`` go quiet
+        deterministically).  With no plan the payload passes through
+        untouched — the disabled path adds zero keys and zero copies.
+        """
+        if self.fault_plan is None:
+            return payload
+        out = dict(payload)
+        out["fault_plan"] = self.fault_plan.to_dict()
+        out["attempts"] = [scenario_attempts.get(i, 0)
+                           for i in payload["indices"]]
+        out["in_worker"] = in_worker
+        return out
+
+    def _quarantine_record(self, index: int, error: BaseException,
+                           attempts: int) -> dict:
+        """The typed ``errors.jsonl`` record for one given-up scenario."""
+        spec = self.specs[index]
+        return {
+            "name": spec.name,
+            "value": spec.value,
+            "seed": spec.seed,
+            "controller": spec.controller_kind,
+            "spec": spec.to_dict(),
+            "spec_hash": spec.spec_hash(),
+            "quarantined": True,
+            "error": {
+                "type": type(error).__name__,
+                "message": str(error),
+                "site": getattr(error, "site", None),
+                "attempts": attempts,
+            },
+        }
+
+    def _failure_followup(self, payload: dict, error: Exception,
+                          scenario_attempts: dict[int, int],
+                          payload_attempts: dict[tuple, int],
+                          counters: dict[str, int],
+                          quarantine: Callable) -> list[dict]:
+        """Decide what a failed shard becomes: retry, bisect halves,
+        or a quarantined scenario.  Returns the payloads to enqueue.
+
+        The retry budget (``max_retries``, with bounded exponential
+        backoff) applies per distinct scenario set, so each bisection
+        half gets its own budget; a single-scenario shard that
+        exhausts its budget is the poisoned scenario — it is
+        quarantined and the sweep moves on.  A
+        :class:`TraceCorruptionError` already names its scenario, so
+        it short-circuits the bisection and quarantines directly.
+        """
+        indices = list(payload["indices"])
+        for index in indices:
+            scenario_attempts[index] = scenario_attempts.get(index, 0) + 1
+        if self.fail_fast:
+            raise error
+        if isinstance(error, TraceCorruptionError) \
+                and error.scenario is not None \
+                and 0 <= error.scenario < len(indices):
+            poisoned = indices[error.scenario]
+            quarantine(poisoned, error)
+            rest = [i for i in indices if i != poisoned]
+            return self._build_payloads(rest) if rest else []
+        key = tuple(indices)
+        attempt = payload_attempts.get(key, 0) + 1
+        payload_attempts[key] = attempt
+        if attempt <= self.max_retries:
+            counters["retries"] += 1
+            if self.retry_backoff_s > 0:
+                time.sleep(min(2.0,
+                               self.retry_backoff_s * 2 ** (attempt - 1)))
+            return [payload]
+        if len(indices) == 1:
+            quarantine(indices[0], error)
+            return []
+        counters["bisections"] += 1
+        mid = len(indices) // 2
+        return (self._build_payloads(indices[:mid])
+                + self._build_payloads(indices[mid:]))
 
     def run(self, progress: Callable | None = None) -> list[dict]:
         """Execute the fleet; returns records in spec order.
@@ -448,12 +700,21 @@ class FleetRunner:
         and run — an interrupted sweep picks up where it stopped at
         the cost of one store scan.
 
+        Failure semantics (unless ``fail_fast``): a shard exception,
+        worker crash or shard timeout never aborts the run.  The shard
+        is retried up to ``max_retries`` times with bounded
+        exponential backoff, then bisected until the failure is pinned
+        to a single scenario, which is quarantined — a typed record in
+        the store's ``errors.jsonl`` sidecar (and in the returned
+        list, flagged ``"quarantined": True``) — while every healthy
+        scenario completes bit-identical to a fault-free run.
+
         ``progress`` (optional) is called after every finished shard.
         Legacy 3-argument callables get ``(outcome, finished_shards,
         total_shards)``; callables accepting a fourth positional
         argument additionally receive a :class:`RunProgress` with the
         cumulative scenarios/s rate and ETA.  Skipped shards never
-        appear in it.
+        appear in it; retried/bisected shards extend the total.
         """
         run_t0 = time.perf_counter()
         records: list[dict | None] = [None] * len(self.specs)
@@ -466,22 +727,48 @@ class FleetRunner:
             payloads = self._build_payloads(remaining)
         else:
             payloads = self.shards()
-        total = len(payloads)
+        # Mutable across the retry loops (followup shards extend the
+        # plan); shared with the pool loop by reference so progress
+        # callbacks always see the live totals.
+        plan = {"total": len(payloads),
+                "to_execute": sum(len(p["indices"]) for p in payloads)}
         finished = 0
-        to_execute = sum(len(p["indices"]) for p in payloads)
         executed = 0
         arity = _progress_arity(progress) if progress is not None else 0
         parent_tele = Telemetry() if self.telemetry else None
         shard_snapshots: list[TelemetrySnapshot] = []
         engines: dict[str, int] = {}
+        counters = {"retries": 0, "bisections": 0, "quarantined": 0,
+                    "pool_respawns": 0}
+        scenario_attempts: dict[int, int] = {}
+        payload_attempts: dict[tuple, int] = {}
         caches_before = None
         if self.telemetry:
             from repro.caches import cache_stats
 
             caches_before = cache_stats()
 
+        def quarantine(index: int, error: BaseException) -> None:
+            counters["quarantined"] += 1
+            record = self._quarantine_record(
+                index, error, scenario_attempts.get(index, 0))
+            records[index] = record
+            plan["to_execute"] = max(0, plan["to_execute"] - 1)
+            if self.store is not None:
+                self.store.append_errors([record])
+
         def sink(outcome: ShardOutcome) -> None:
             nonlocal finished, executed
+            torn = False
+            if self.fault_plan is not None:
+                shard_faults = self.fault_plan.bind(
+                    [(self.specs[i].name, self.specs[i].seed)
+                     for i in outcome.indices],
+                    [scenario_attempts.get(i, 0)
+                     for i in outcome.indices])
+                shard_faults.fire("store_append")
+                torn = (self.store is not None
+                        and shard_faults.torn_append())
             finished += 1
             executed += len(outcome.indices)
             engines[outcome.engine] = engines.get(outcome.engine, 0) + 1
@@ -493,40 +780,188 @@ class FleetRunner:
                         self.store.append(outcome.records)
                 else:
                     self.store.append(outcome.records)
+                if torn:
+                    _tear_last_line(self.store.path)
             if outcome.telemetry is not None:
                 shard_snapshots.append(
                     TelemetrySnapshot.from_dict(outcome.telemetry))
             if progress is not None:
                 if arity >= 4:
-                    progress(outcome, finished, total,
+                    progress(outcome, finished, plan["total"],
                              RunProgress.compute(
-                                 executed, to_execute,
+                                 executed, plan["to_execute"],
                                  time.perf_counter() - run_t0))
                 else:
-                    progress(outcome, finished, total)
+                    progress(outcome, finished, plan["total"])
 
         workers = self.max_workers
         if workers is None or workers <= 1:
             workers = 1
-            for payload in payloads:
-                sink(_run_spec_shard(payload))
+            queue = deque(payloads)
+            while queue:
+                payload = queue.popleft()
+                try:
+                    sink(_run_spec_shard(
+                        self._stamp(payload, False, scenario_attempts)))
+                except Exception as error:
+                    followup = self._failure_followup(
+                        payload, error, scenario_attempts,
+                        payload_attempts, counters, quarantine)
+                    plan["total"] += len(followup)
+                    queue.extendleft(reversed(followup))
         else:
-            workers = min(workers, total) or 1
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                pending = {pool.submit(_run_spec_shard, payload)
-                           for payload in payloads}
-                while pending:
-                    done, pending = wait(pending,
-                                         return_when=FIRST_COMPLETED)
-                    for future in done:
-                        sink(future.result())
+            workers = min(workers, plan["total"]) or 1
+            self._run_pool(payloads, workers, sink, plan,
+                           scenario_attempts, payload_attempts,
+                           counters, quarantine)
 
+        self.last_run_stats = {
+            "executed": executed,
+            "skipped": len(skipped),
+            "shards": finished,
+            **counters,
+        }
         if parent_tele is not None:
+            for name, value in counters.items():
+                if value:
+                    parent_tele.count(name, value)
             self._finish_manifest(parent_tele, shard_snapshots, engines,
-                                  workers, to_execute, len(skipped),
-                                  total, caches_before,
+                                  workers, executed, len(skipped),
+                                  plan["total"], caches_before,
                                   time.perf_counter() - run_t0)
         return records  # type: ignore[return-value]
+
+    def _run_pool(self, payloads: list[dict], workers: int,
+                  sink: Callable, plan: dict,
+                  scenario_attempts: dict[int, int],
+                  payload_attempts: dict[tuple, int],
+                  counters: dict[str, int],
+                  quarantine: Callable) -> None:
+        """The multi-worker loop: throttled submission, crash recovery.
+
+        Submission is throttled to ``workers`` shards in flight so
+        every submitted shard is actually *running* — which keeps
+        per-shard deadlines honest (a shard queued inside the executor
+        would burn its budget waiting for a process).
+
+        Recovery paths:
+
+        * a shard raising inside its worker surfaces through
+          ``future.result()`` → normal retry/bisect/quarantine;
+        * a dying worker breaks the whole executor
+          (``BrokenProcessPool`` on *every* in-flight future, guilty
+          or not) → surfaced failures are penalized, still-pending
+          shards are requeued without an attempt penalty, and the
+          pool is respawned;
+        * an expired ``shard_timeout`` terminates the pool's processes
+          (the executor cannot cancel a *running* task), penalizes
+          the expired shards and requeues the innocent in-flight ones;
+        * any ``BaseException`` (Ctrl-C, ``fail_fast`` re-raise) shuts
+          the pool down with ``cancel_futures=True`` before
+          propagating, so no orphan workers outlive the run.
+        """
+        queue = deque(payloads)
+        pool = ProcessPoolExecutor(max_workers=workers)
+        pending: dict = {}  # future -> (payload, deadline)
+
+        def respawn() -> None:
+            nonlocal pool
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = ProcessPoolExecutor(max_workers=workers)
+            counters["pool_respawns"] += 1
+
+        def handle_failure(payload: dict, error: Exception) -> None:
+            followup = self._failure_followup(
+                payload, error, scenario_attempts, payload_attempts,
+                counters, quarantine)
+            plan["total"] += len(followup)
+            queue.extend(followup)
+
+        try:
+            while queue or pending:
+                submit_broken = False
+                while queue and len(pending) < workers:
+                    payload = queue.popleft()
+                    try:
+                        future = pool.submit(
+                            _run_spec_shard,
+                            self._stamp(payload, True,
+                                        scenario_attempts))
+                    except BrokenProcessPool:
+                        # The pool broke between wait rounds; the
+                        # in-flight futures (if any) surface their own
+                        # BrokenProcessPool below and trigger the
+                        # respawn there.
+                        queue.appendleft(payload)
+                        submit_broken = True
+                        break
+                    deadline = (time.monotonic() + self.shard_timeout
+                                if self.shard_timeout is not None
+                                else None)
+                    pending[future] = (payload, deadline)
+                if submit_broken and not pending:
+                    respawn()
+                    continue
+                timeout = None
+                if self.shard_timeout is not None and pending:
+                    timeout = max(0.0, min(
+                        deadline for _, deadline in pending.values())
+                        - time.monotonic())
+                done, _ = wait(set(pending), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    payload, _ = pending.pop(future)
+                    try:
+                        sink(future.result())
+                    except Exception as error:
+                        if isinstance(error, BrokenProcessPool):
+                            broken = True
+                            error = WorkerCrashError(
+                                f"worker process died mid-shard "
+                                f"(scenarios {payload['indices']}): "
+                                f"{error}")
+                        handle_failure(payload, error)
+                if broken:
+                    # The executor is dead and every in-flight future
+                    # fails with the same BrokenProcessPool regardless
+                    # of guilt; requeue the not-yet-surfaced shards
+                    # innocently (their records stay bit-identical
+                    # either way) and respawn.
+                    for payload, _ in pending.values():
+                        queue.append(payload)
+                    pending.clear()
+                    respawn()
+                elif not done and pending:
+                    now = time.monotonic()
+                    expired = [payload
+                               for payload, deadline in pending.values()
+                               if deadline is not None and deadline <= now]
+                    if expired:
+                        survivors = [
+                            payload
+                            for payload, deadline in pending.values()
+                            if not (deadline is not None
+                                    and deadline <= now)]
+                        pending.clear()
+                        for process in (getattr(pool, "_processes", None)
+                                        or {}).values():
+                            process.terminate()
+                        for payload in expired:
+                            handle_failure(payload, ShardTimeoutError(
+                                f"shard over scenarios "
+                                f"{payload['indices']} exceeded the "
+                                f"{self.shard_timeout:g}s wall-clock "
+                                f"budget"))
+                        queue.extend(survivors)
+                        respawn()
+        except BaseException:
+            # Ctrl-C (or a fail-fast re-raise) mid-sweep: cancel queued
+            # shards, stop the pool without waiting for stragglers, and
+            # propagate — no orphan workers survive the run.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown()
 
     def _finish_manifest(self, parent_tele: Telemetry,
                          shard_snapshots: list[TelemetrySnapshot],

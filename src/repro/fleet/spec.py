@@ -424,9 +424,9 @@ def product_specs(template: ScenarioSpec,
     ``Sweep`` lays out (value, seed) runs.
     """
     if not axes:
-        raise ValueError("need at least one axis")
+        raise ConfigurationError("need at least one axis")
     if not seeds:
-        raise ValueError("need at least one seed")
+        raise ConfigurationError("need at least one seed")
     paths = list(axes)
     specs = []
     for combo in itertools.product(*(axes[path] for path in paths)):
@@ -450,7 +450,8 @@ def sample_specs(template: ScenarioSpec,
     fully reproducible from ``seed``.
     """
     if n_scenarios < 1:
-        raise ValueError(f"need n_scenarios >= 1, got {n_scenarios}")
+        raise ConfigurationError(
+            f"need n_scenarios >= 1, got {n_scenarios}")
     rng = make_rng(seed, "fleet:sample")
     specs = []
     for index in range(n_scenarios):
@@ -460,7 +461,7 @@ def sample_specs(template: ScenarioSpec,
                     and all(isinstance(v, (int, float)) for v in axis):
                 low, high = float(axis[0]), float(axis[1])
                 if low > high:
-                    raise ValueError(
+                    raise ConfigurationError(
                         f"{path}: low {low} > high {high}")
                 if low > 0 and high / low > 20.0:
                     draw = float(np.exp(rng.uniform(np.log(low),

@@ -25,6 +25,7 @@ monotonicity checks the figure experiments use.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -38,6 +39,7 @@ DEFAULT_TABLE_METRICS = ("time_avg_cost", "avg_delay_slots",
 _RESULTS_NAME = "results.jsonl"
 _META_NAME = "meta.json"
 _MANIFEST_NAME = "manifest.jsonl"
+_ERRORS_NAME = "errors.jsonl"
 
 
 class ResultStore:
@@ -49,6 +51,7 @@ class ResultStore:
         self._results_path = self.root / _RESULTS_NAME
         self._meta_path = self.root / _META_NAME
         self._manifest_path = self.root / _MANIFEST_NAME
+        self._errors_path = self.root / _ERRORS_NAME
         if not self._meta_path.exists():
             self._meta_path.write_text(
                 json.dumps({"format": "repro-fleet-results", "version": 1})
@@ -64,69 +67,100 @@ class ResultStore:
         """The run-manifest sidecar (one JSON line per telemetry run)."""
         return self._manifest_path
 
+    @property
+    def error_path(self) -> Path:
+        """The quarantine sidecar (one JSON line per failed scenario)."""
+        return self._errors_path
+
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _append_lines(path: Path, lines: Sequence[str]) -> None:
+        """Append whole lines with the torn-write discipline.
+
+        Lines are serialized by the caller before the file is opened,
+        so a failure mid-serialization leaves the file untouched.  If
+        a previous writer died mid-line (no trailing newline), the new
+        batch starts on a fresh line so the torn fragment stays
+        isolated instead of gluing onto the first new record.  One
+        flush + fsync per batch bounds a crash's damage to the single
+        torn tail line the readers already tolerate.
+        """
+        prefix = ""
+        if path.exists() and path.stat().st_size > 0:
+            with path.open("rb") as handle:
+                handle.seek(-1, 2)
+                if handle.read(1) != b"\n":
+                    prefix = "\n"
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(prefix + "\n".join(lines) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
     def append(self, records: Iterable[Mapping]) -> int:
         """Append records as JSON lines; returns how many were written.
 
-        Lines are serialized first and written in one call, so a
-        failure mid-serialization leaves the file untouched.  If a
-        previous writer died mid-line (no trailing newline), the new
-        batch starts on a fresh line so the torn fragment stays
-        isolated instead of gluing onto the first new record.
+        See :meth:`_append_lines` for the crash-safety discipline.
         """
         lines = [json.dumps(dict(record), sort_keys=True)
                  for record in records]
         if not lines:
             return 0
-        prefix = ""
-        if self._results_path.exists() \
-                and self._results_path.stat().st_size > 0:
-            with self._results_path.open("rb") as handle:
-                handle.seek(-1, 2)
-                if handle.read(1) != b"\n":
-                    prefix = "\n"
-        with self._results_path.open("a", encoding="utf-8") as handle:
-            handle.write(prefix + "\n".join(lines) + "\n")
-            handle.flush()
+        self._append_lines(self._results_path, lines)
         return len(lines)
 
     def append_manifest(self, record: Mapping) -> None:
         """Append one run manifest to the ``manifest.jsonl`` sidecar.
 
         Same append-only, torn-write-tolerant discipline as record
-        appends: the line is serialized before the file is opened, and
-        a torn predecessor line is isolated with a fresh newline.
+        appends.
         """
-        line = json.dumps(dict(record), sort_keys=True)
-        prefix = ""
-        if self._manifest_path.exists() \
-                and self._manifest_path.stat().st_size > 0:
-            with self._manifest_path.open("rb") as handle:
-                handle.seek(-1, 2)
-                if handle.read(1) != b"\n":
-                    prefix = "\n"
-        with self._manifest_path.open("a", encoding="utf-8") as handle:
-            handle.write(prefix + line + "\n")
-            handle.flush()
+        self._append_lines(self._manifest_path,
+                           [json.dumps(dict(record), sort_keys=True)])
 
-    def manifests(self) -> list[dict]:
-        """Stored run manifests in append order (torn lines skipped)."""
-        if not self._manifest_path.exists():
-            return []
-        records = []
-        with self._manifest_path.open("r", encoding="utf-8") as handle:
+    def append_errors(self, records: Iterable[Mapping]) -> int:
+        """Append quarantine records to the ``errors.jsonl`` sidecar.
+
+        Each record describes one scenario the runner gave up on:
+        the spec (with its hash) plus a typed ``error`` object —
+        ``{"type", "message", "site", "attempts"}``.  Same append-only
+        discipline as results, so a crash mid-quarantine loses at most
+        one torn line.
+        """
+        lines = [json.dumps(dict(record), sort_keys=True)
+                 for record in records]
+        if not lines:
+            return 0
+        self._append_lines(self._errors_path, lines)
+        return len(lines)
+
+    @staticmethod
+    def _read_jsonl(path: Path) -> Iterator[dict]:
+        """Valid JSON lines of ``path`` in order; torn lines skipped."""
+        if not path.exists():
+            return
+        with path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
                     continue
                 try:
-                    records.append(json.loads(line))
+                    yield json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # torn write; complete manifests are intact
-        return records
+                    continue  # torn write; complete lines are intact
+
+    def manifests(self) -> list[dict]:
+        """Stored run manifests in append order (torn lines skipped)."""
+        return list(self._read_jsonl(self._manifest_path))
+
+    def errors(self) -> list[dict]:
+        """Stored quarantine records in append order (torn lines
+        skipped).  A scenario may appear more than once if it was
+        quarantined, retried via ``--retry-quarantined`` and
+        quarantined again; later entries describe later attempts."""
+        return list(self._read_jsonl(self._errors_path))
 
     # ------------------------------------------------------------------
     # Reading
@@ -141,18 +175,7 @@ class ResultStore:
         readers keep all of them and skip the fragments, like a
         write-ahead log.
         """
-        if not self._results_path.exists():
-            return
-        with self._results_path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn write; complete records are intact
-                yield record
+        yield from self._read_jsonl(self._results_path)
 
     def records(self) -> list[dict]:
         """All records, in append order."""
@@ -202,6 +225,22 @@ class ResultStore:
     def spec_hashes(self) -> set[str]:
         """The set of scenario hashes with at least one stored record."""
         return set(self.latest_by_hash())
+
+    def quarantined_by_hash(self) -> dict[str, dict]:
+        """Last quarantine record per scenario hash.
+
+        The runner's resume path treats a quarantined hash as "done"
+        (re-running would re-fail) unless ``retry_quarantined`` asks
+        for another attempt.  A hash that also has a *result* record —
+        e.g. from a later successful retry — is not quarantined any
+        more; callers resolve that by letting the results index win.
+        """
+        index: dict[str, dict] = {}
+        for record in self.errors():
+            key = self._record_hash(record)
+            if key is not None:
+                index[key] = record
+        return index
 
     # ------------------------------------------------------------------
     # Aggregation

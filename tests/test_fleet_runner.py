@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro.exceptions import ConfigurationError
 from repro.fleet.runner import FleetRunner, _split_shards
 from repro.fleet.spec import ScenarioSpec, grid_specs
 from repro.fleet.store import ResultStore
@@ -32,7 +33,7 @@ class TestSharding:
         assert _split_shards(list(range(7)), 3) == [[0, 1, 2],
                                                     [3, 4, 5], [6]]
         assert _split_shards([], 3) == []
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             _split_shards([1], 0)
 
     def test_compatible_specs_share_a_shard(self):
@@ -105,8 +106,21 @@ class TestRun:
         assert records[2]["controller"] == "impatient"
 
     def test_empty_fleet_rejected(self):
-        with pytest.raises(ValueError, match="no scenarios"):
+        with pytest.raises(ConfigurationError, match="no scenarios"):
             FleetRunner([])
+
+    def test_invalid_knobs_rejected(self):
+        specs = tiny_fleet()
+        for kwargs in ({"batch_size": 0}, {"chunk_coarse": 0},
+                       {"max_workers": 0}, {"max_workers": -2},
+                       {"max_retries": -1}, {"shard_timeout": 0.0},
+                       {"shard_timeout": -1.0},
+                       {"retry_backoff_s": -0.1}):
+            with pytest.raises(ConfigurationError):
+                FleetRunner(specs, **kwargs)
+        # None stays auto (in-process); 1 is a valid explicit serial.
+        FleetRunner(specs, max_workers=None)
+        FleetRunner(specs, max_workers=1)
 
 
 class TestCli:
