@@ -4,9 +4,9 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-fast test-equivalence test-backend test-telemetry \
-	test-faults bench-smoke bench-batch bench-fleet bench-traces \
-	bench-plan bench-backend bench-offline bench-telemetry \
-	bench-faults benchmarks
+	test-faults test-lint lint typecheck bench-smoke bench-batch \
+	bench-fleet bench-traces bench-plan bench-backend bench-offline \
+	bench-telemetry bench-faults benchmarks
 
 # Tier-1 verify: the full suite, fail-fast.
 test:
@@ -37,6 +37,26 @@ test-telemetry:
 # tier-1).
 test-faults:
 	$(PY) -m pytest -q -m faults
+
+# Lint suite only: rule fixtures + the src/repro clean gate (the
+# `lint` marker; `make test` runs these as part of tier-1).
+test-lint:
+	$(PY) -m pytest -q -m lint
+
+# The repo's own AST linter over the library source.  Exit 0 means
+# every invariant in src/repro/lint/README.md holds (modulo inline
+# waivers and the checked-in lint-baseline.txt).
+lint:
+	$(PY) -m repro.lint src/repro
+
+# Static type check of the clean leaf modules (see mypy.ini).  mypy is
+# an optional dev dependency (`pip install repro[dev]`); when it is
+# not installed this target skips instead of failing, so `make
+# typecheck` is safe to chain in CI recipes on minimal images.
+typecheck:
+	@$(PY) -c "import mypy" 2>/dev/null \
+		&& $(PY) -m mypy --config-file mypy.ini \
+		|| echo "mypy not installed; skipping (pip install repro[dev])"
 
 # Tiny batch-vs-serial canary: fails if the batch engine errors,
 # diverges from the scalar engine, or regresses past 2x serial.

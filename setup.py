@@ -27,5 +27,9 @@ setup(
         "cupy": ["cupy>=12"],
         "jax": ["jax>=0.4"],
         "test": ["pytest>=7", "hypothesis>=6"],
+        # Static-analysis toolchain: `make lint` needs nothing beyond
+        # the stdlib (repro.lint is self-contained); mypy backs the
+        # optional `make typecheck` target, which skips when absent.
+        "dev": ["mypy>=1.5"],
     },
 )

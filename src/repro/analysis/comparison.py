@@ -9,6 +9,7 @@ those computations so every experiment reports them identically.
 from __future__ import annotations
 
 from repro.sim.results import SimulationResult
+from repro.exceptions import ConfigurationError
 
 
 def cost_reduction(result: SimulationResult,
@@ -20,7 +21,7 @@ def cost_reduction(result: SimulationResult,
     """
     base = baseline.time_average_cost
     if base == 0:
-        raise ValueError("baseline has zero cost; reduction undefined")
+        raise ConfigurationError("baseline has zero cost; reduction undefined")
     return (base - result.time_average_cost) / base
 
 
@@ -29,7 +30,7 @@ def optimality_gap(result: SimulationResult,
     """Fractional excess over the offline optimum (Fig. 6a's gap)."""
     opt = offline.time_average_cost
     if opt == 0:
-        raise ValueError("offline optimum has zero cost; gap undefined")
+        raise ConfigurationError("offline optimum has zero cost; gap undefined")
     return (result.time_average_cost - opt) / opt
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sim.results import SimulationResult
+from repro.exceptions import ConfigurationError
 
 
 def grid_draw_series(result: SimulationResult) -> np.ndarray:
@@ -56,7 +57,7 @@ def demand_charge(result: SimulationResult,
     rate); horizons other than a month are prorated.
     """
     if dollars_per_mw_month < 0:
-        raise ValueError(
+        raise ConfigurationError(
             f"tariff must be >= 0, got {dollars_per_mw_month}")
     draw = grid_draw_series(result)
     peak_mw = float(draw.max()) / result.system.slot_hours

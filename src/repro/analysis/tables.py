@@ -8,6 +8,7 @@ aligned and machine-greppable, and EXPERIMENTS.md quotes it directly.
 from __future__ import annotations
 
 from typing import Sequence
+from repro.exceptions import ConfigurationError
 
 
 def format_table(headers: Sequence[str],
@@ -28,7 +29,7 @@ def format_table(headers: Sequence[str],
     widths = [len(h) for h in headers]
     for row in rendered:
         if len(row) != len(headers):
-            raise ValueError(
+            raise ConfigurationError(
                 f"row has {len(row)} cells, expected {len(headers)}")
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
@@ -49,7 +50,7 @@ def format_series(name: str, xs: Sequence[object],
                   ys: Sequence[float], precision: int = 3) -> str:
     """Render one figure series as ``name: x=y`` pairs on one line."""
     if len(xs) != len(ys):
-        raise ValueError(
+        raise ConfigurationError(
             f"series {name!r}: {len(xs)} x-values vs {len(ys)} y-values")
     pairs = " ".join(f"{x}={y:.{precision}f}" for x, y in zip(xs, ys))
     return f"{name}: {pairs}"

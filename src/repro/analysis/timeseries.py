@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sim.results import SimulationResult
+from repro.exceptions import ConfigurationError
 
 HOURS_PER_DAY = 24
 
@@ -22,7 +23,7 @@ def by_hour(values: np.ndarray, reduce: str = "mean") -> np.ndarray:
     hours = np.arange(values.size) % HOURS_PER_DAY
     reducer = {"mean": np.mean, "sum": np.sum, "max": np.max}
     if reduce not in reducer:
-        raise ValueError(f"unknown reducer {reduce!r}")
+        raise ConfigurationError(f"unknown reducer {reduce!r}")
     fold = reducer[reduce]
     return np.array([fold(values[hours == h]) if np.any(hours == h)
                      else 0.0 for h in range(HOURS_PER_DAY)])
@@ -33,13 +34,13 @@ def by_day(values: np.ndarray, reduce: str = "sum") -> np.ndarray:
     values = np.asarray(values, dtype=float)
     n_days = values.size // HOURS_PER_DAY
     if n_days == 0:
-        raise ValueError(
+        raise ConfigurationError(
             f"series of {values.size} slots has no complete day")
     daily = values[:n_days * HOURS_PER_DAY].reshape(n_days,
                                                     HOURS_PER_DAY)
     reducer = {"mean": np.mean, "sum": np.sum, "max": np.max}
     if reduce not in reducer:
-        raise ValueError(f"unknown reducer {reduce!r}")
+        raise ConfigurationError(f"unknown reducer {reduce!r}")
     return reducer[reduce](daily, axis=1)
 
 

@@ -23,6 +23,7 @@ from repro.core.interfaces import (
     FineObservation,
     RealTimeDecision,
 )
+from repro.exceptions import ConfigurationError
 
 
 class _RunningQuantile:
@@ -30,7 +31,7 @@ class _RunningQuantile:
 
     def __init__(self, quantile: float, max_history: int = 2000):
         if not 0.0 < quantile < 1.0:
-            raise ValueError(f"quantile must be in (0,1), got {quantile}")
+            raise ConfigurationError(f"quantile must be in (0,1), got {quantile}")
         self.quantile = quantile
         self.max_history = max_history
         self._sorted: list[float] = []

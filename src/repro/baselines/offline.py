@@ -307,7 +307,7 @@ def solve_offline_plan(system: SystemConfig, traces: TraceSet,
     deadline_slots = _validate_deadline(deadline_slots)
     n = system.horizon_slots
     if traces.n_slots < n:
-        raise ValueError(
+        raise ConfigurationError(
             f"traces cover {traces.n_slots} slots, need {n}")
     structure = _get_structure(system, deadline_slots,
                                include_real_time, cycle_proxy_cost)
@@ -336,7 +336,7 @@ def solve_offline_plan_batch(system: SystemConfig, block: TraceBlock,
     deadline_slots = _validate_deadline(deadline_slots)
     n = system.horizon_slots
     if block.n_slots < n:
-        raise ValueError(
+        raise ConfigurationError(
             f"trace block covers {block.n_slots} slots, need {n}")
     structure = _get_structure(system, deadline_slots,
                                include_real_time, cycle_proxy_cost)

@@ -14,6 +14,7 @@ simulation engine records the per-slot operation cost from
 """
 
 from __future__ import annotations
+from repro.exceptions import ConfigurationError, InfeasibleActionError
 
 
 def per_operation_cost(purchase_cost: float, cycle_life: int) -> float:
@@ -23,10 +24,10 @@ def per_operation_cost(purchase_cost: float, cycle_life: int) -> float:
     0.1
     """
     if purchase_cost < 0:
-        raise ValueError(
+        raise ConfigurationError(
             f"purchase cost must be >= 0, got {purchase_cost}")
     if cycle_life <= 0:
-        raise ValueError(f"cycle life must be > 0, got {cycle_life}")
+        raise ConfigurationError(f"cycle life must be > 0, got {cycle_life}")
     return purchase_cost / cycle_life
 
 
@@ -45,9 +46,9 @@ class CycleLedger:
 
     def __init__(self, op_cost: float, budget: int | None = None):
         if op_cost < 0:
-            raise ValueError(f"op cost must be >= 0, got {op_cost}")
+            raise ConfigurationError(f"op cost must be >= 0, got {op_cost}")
         if budget is not None and budget < 0:
-            raise ValueError(f"budget must be >= 0, got {budget}")
+            raise ConfigurationError(f"budget must be >= 0, got {budget}")
         self.op_cost = op_cost
         self.budget = budget
         self._operations = 0
@@ -98,10 +99,10 @@ class CycleLedger:
         otherwise.
         """
         if charge < 0 or discharge < 0:
-            raise ValueError("charge/discharge must be >= 0, got "
+            raise InfeasibleActionError("charge/discharge must be >= 0, got "
                              f"({charge}, {discharge})")
         if charge > 0 and discharge > 0:
-            raise ValueError(
+            raise InfeasibleActionError(
                 "battery cannot charge and discharge in the same slot "
                 f"(brc·bdc ≡ 0), got ({charge}, {discharge})")
         if charge == 0 and discharge == 0:

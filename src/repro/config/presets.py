@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.config.control import ObjectiveMode, SmartDPSSConfig
 from repro.config.system import SystemConfig
+from repro.exceptions import ConfigurationError
 
 #: Battery size used in most paper experiments (minutes of peak demand).
 PAPER_BATTERY_MINUTES = 15.0
@@ -51,7 +52,7 @@ def paper_system_config(battery_minutes: float = PAPER_BATTERY_MINUTES,
     """
     total_hours = days * 24
     if total_hours % fine_slots_per_coarse != 0:
-        raise ValueError(
+        raise ConfigurationError(
             f"horizon of {total_hours} hours is not divisible into coarse "
             f"slots of T={fine_slots_per_coarse} hours")
     base = SystemConfig(

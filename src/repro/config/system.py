@@ -238,7 +238,7 @@ class SystemConfig:
     def coarse_index(self, fine_slot: int) -> int:
         """Coarse slot that contains the given fine slot."""
         if fine_slot < 0:
-            raise ValueError(f"fine slot must be >= 0, got {fine_slot}")
+            raise ConfigurationError(f"fine slot must be >= 0, got {fine_slot}")
         return fine_slot // self.fine_slots_per_coarse
 
     def is_coarse_boundary(self, fine_slot: int) -> bool:

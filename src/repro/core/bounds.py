@@ -47,6 +47,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.config.system import SystemConfig
+from repro.exceptions import ConfigurationError
 
 
 class BoundVariant(str, enum.Enum):
@@ -157,13 +158,13 @@ def compute_bounds(system: SystemConfig | SystemArrays,
     calls (the batch planning stage depends on this for ``u_max``).
     """
     if np.any(np.asarray(v) <= 0):
-        raise ValueError(f"V must be > 0, got {v}")
+        raise ConfigurationError(f"V must be > 0, got {v}")
     if np.any(np.asarray(epsilon) <= 0):
-        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+        raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
     if np.any(np.asarray(price_cap) <= 0):
-        raise ValueError(f"price cap must be > 0, got {price_cap}")
+        raise ConfigurationError(f"price cap must be > 0, got {price_cap}")
     if np.any(np.asarray(theta_max) < 0):
-        raise ValueError(f"theta_max must be >= 0, got {theta_max}")
+        raise ConfigurationError(f"theta_max must be >= 0, got {theta_max}")
 
     t_slots = system.fine_slots_per_coarse
     charge_sq = (system.b_charge_max * system.eta_c) ** 2
@@ -227,9 +228,9 @@ def scaled_bounds(bounds: TheoreticalBounds, beta: float,
     renewable-correlation exponent.
     """
     if beta < 1:
-        raise ValueError(f"beta must be >= 1, got {beta}")
+        raise ConfigurationError(f"beta must be >= 1, got {beta}")
     if not 0.5 <= alpha <= 1.0:
-        raise ValueError(f"alpha must be in [1/2, 1], got {alpha}")
+        raise ConfigurationError(f"alpha must be in [1/2, 1], got {alpha}")
     t_slots = system.fine_slots_per_coarse
     robustness_term = t_slots * (beta ** alpha) * theta_max * (
         2.0 * system.s_dt_max + system.d_dt_max

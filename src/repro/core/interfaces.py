@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config.system import SystemConfig
+from repro.exceptions import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -167,9 +168,9 @@ class RealTimeDecision:
 
     def __post_init__(self) -> None:
         if self.grt < 0:
-            raise ValueError(f"grt must be >= 0, got {self.grt}")
+            raise ConfigurationError(f"grt must be >= 0, got {self.grt}")
         if not 0.0 <= self.gamma <= 1.0:
-            raise ValueError(f"gamma must be in [0, 1], got {self.gamma}")
+            raise ConfigurationError(f"gamma must be in [0, 1], got {self.gamma}")
 
 
 @dataclass(frozen=True)

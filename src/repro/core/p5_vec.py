@@ -44,6 +44,7 @@ import numpy as np
 from repro.backend import current_xp
 from repro.backend.workspace import P5Workspace
 from repro.config.control import ObjectiveMode
+from repro.exceptions import ConfigurationError
 
 #: Tolerances shared with the scalar solver (see repro.core.modes).
 _UNSERVED_TOL = 1e-9
@@ -460,7 +461,8 @@ def solve_p5_batch(state: BatchSlotState, mode: ObjectiveMode,
         from repro.backend import active_backend
 
         backend = active_backend()
-        host_rows = np.array(backend.to_numpy(rows))
+        host_rows = np.array(  # replint: ignore[R002] host-side tie-break after an explicit to_numpy pull
+            backend.to_numpy(rows))
         for lane in ambiguous.tolist():
             best_value = np.inf
             best_row = 2
@@ -479,7 +481,7 @@ def _solve_p5_ws(state: BatchSlotState, mode: ObjectiveMode,
     """Workspace path of :func:`solve_p5_batch` (zero allocations)."""
     n = state.backlog.shape[0]
     if w.batch != n or w.n_candidates != N_CANDIDATES:
-        raise ValueError(
+        raise ConfigurationError(
             f"workspace sized ({w.n_candidates}, {w.batch}) cannot "
             f"serve a ({N_CANDIDATES}, {n}) solve")
     xp = w.xp

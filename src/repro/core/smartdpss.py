@@ -42,6 +42,7 @@ from repro.core.virtual_queues import (
     operational_shift,
     paper_shift,
 )
+from repro.exceptions import ConfigurationError
 
 
 class _RunningMean:
@@ -81,7 +82,7 @@ class _RunningMean:
         """Restore a :meth:`state` snapshot exactly (seed included)."""
         count = int(state["count"])
         if count < 0:
-            raise ValueError(f"count must be >= 0, got {count}")
+            raise ConfigurationError(f"count must be >= 0, got {count}")
         self._sum = float(state["sum"])
         self._count = count
         self._initial = None if state["initial"] is None \

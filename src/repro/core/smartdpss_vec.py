@@ -104,7 +104,7 @@ class VecSmartDPSS:
                  workspace: bool | None = None,
                  telemetry=None):
         if not controllers:
-            raise ValueError("need at least one controller")
+            raise ConfigurationError("need at least one controller")
         self.controllers = list(controllers)
         self.batch_planning = (BATCH_PLANNING_DEFAULT
                                if batch_planning is None
@@ -138,7 +138,7 @@ class VecSmartDPSS:
 
     def begin_horizon(self, systems: Sequence[SystemConfig]) -> None:
         if len(systems) != self._n:
-            raise ValueError(
+            raise ConfigurationError(
                 f"{len(systems)} systems for {self._n} controllers")
         n = self._n
 

@@ -27,6 +27,11 @@ Two auxiliary state variables steer SmartDPSS:
 from __future__ import annotations
 
 import enum
+from repro.exceptions import (
+    ConfigurationError,
+    InfeasibleActionError,
+    StateError,
+)
 
 
 class ShiftMode(str, enum.Enum):
@@ -46,7 +51,7 @@ class DelayAwareQueue:
 
     def __init__(self, epsilon: float):
         if epsilon <= 0:
-            raise ValueError(f"epsilon must be > 0, got {epsilon}")
+            raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
         self.epsilon = epsilon
         self._value = 0.0
         self._peak = 0.0
@@ -64,7 +69,7 @@ class DelayAwareQueue:
     def update(self, served_dt: float, had_backlog: bool) -> float:
         """Apply eq. (12) for one slot; returns the new ``Y``."""
         if served_dt < 0:
-            raise ValueError(f"service must be >= 0, got {served_dt}")
+            raise InfeasibleActionError(f"service must be >= 0, got {served_dt}")
         growth = self.epsilon if had_backlog else 0.0
         self._value = max(self._value - served_dt + growth, 0.0)
         if self._value > self._peak:
@@ -90,7 +95,7 @@ class DelayAwareQueue:
         value = float(state["value"])
         peak = float(state["peak"])
         if value < 0 or peak < 0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"queue state must be >= 0, got value={value} "
                 f"peak={peak}")
         self._value = value
@@ -120,14 +125,14 @@ class BatteryVirtualQueue:
     def value(self) -> float:
         """Current ``X(t)`` (raises if never observed)."""
         if self._value is None:
-            raise RuntimeError("battery queue not yet observed")
+            raise StateError("battery queue not yet observed")
         return self._value
 
     @property
     def extremes(self) -> tuple[float, float]:
         """(min, max) of ``X`` this horizon, for Theorem 2-(1) checks."""
         if self._min_seen is None or self._max_seen is None:
-            raise RuntimeError("battery queue not yet observed")
+            raise StateError("battery queue not yet observed")
         return self._min_seen, self._max_seen
 
     def observe(self, battery_level: float) -> float:
@@ -168,7 +173,7 @@ class BatteryVirtualQueue:
         observed = [state["value"], state["min_seen"], state["max_seen"]]
         if any(entry is None for entry in observed) \
                 and not all(entry is None for entry in observed):
-            raise ValueError(
+            raise ConfigurationError(
                 f"value/min_seen/max_seen must be all set or all "
                 f"None, got {state}")
         self.shift = float(state["shift"])

@@ -23,6 +23,18 @@ class ConfigurationError(ReproError):
     """
 
 
+class StateError(ReproError):
+    """An operation was invoked before the state it needs existed.
+
+    The lifecycle counterpart of :class:`ConfigurationError`: the
+    arguments are fine, but a required prior step has not happened yet
+    (reading a virtual queue before its first observation, flushing
+    delays before the horizon ended, aggregating an empty result
+    store).  The remedy is always "call the missing step first", which
+    the message names.
+    """
+
+
 class InfeasibleActionError(ReproError):
     """A control action violates a hard physical constraint.
 

@@ -16,9 +16,9 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
-import time
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.telemetry import monotonic
 
 logger = logging.getLogger("repro.experiments")
 
@@ -81,9 +81,9 @@ def main(argv: list[str] | None = None) -> int:
             logger.error("unknown experiment %r", experiment_id)
             print(list_experiments(), file=sys.stderr)
             return 2
-        started = time.perf_counter()
+        started = monotonic()
         print(run_experiment(experiment_id, **kwargs))
-        elapsed = time.perf_counter() - started
+        elapsed = monotonic() - started
         logger.info("[%s finished in %.1fs]", experiment_id, elapsed)
         print()
     return 0

@@ -34,7 +34,6 @@ import argparse
 import json
 import logging
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
@@ -52,7 +51,8 @@ from repro.fleet.spec import (
     sample_specs,
 )
 from repro.fleet.store import DEFAULT_TABLE_METRICS, ResultStore
-from repro.telemetry import RunManifest, stage_split
+from repro.telemetry import RunManifest, monotonic, stage_split
+from repro.exceptions import ConfigurationError
 
 DEMOS = ("v-sweep", "t-sweep", "random")
 
@@ -91,7 +91,7 @@ def build_demo_fleet(demo: str, n_scenarios: int, days: int,
                      ) -> list[ScenarioSpec]:
     """Deterministically expand a demo description into a fleet."""
     if n_scenarios < 1:
-        raise ValueError(f"need >= 1 scenario, got {n_scenarios}")
+        raise ConfigurationError(f"need >= 1 scenario, got {n_scenarios}")
     template = _template(days, t_slots)
     if demo == "v-sweep":
         values = [round(float(v), 4)
@@ -114,14 +114,14 @@ def build_demo_fleet(demo: str, n_scenarios: int, days: int,
         }
         return sample_specs(template, space, n_scenarios,
                             seed=sample_seed)
-    raise ValueError(f"unknown demo {demo!r}; expected one of {DEMOS}")
+    raise ConfigurationError(f"unknown demo {demo!r}; expected one of {DEMOS}")
 
 
 def load_spec_file(path: Path) -> list[ScenarioSpec]:
     """A fleet from a JSON file: a list of ScenarioSpec dicts."""
     payload = json.loads(path.read_text(encoding="utf-8"))
     if not isinstance(payload, list):
-        raise ValueError(
+        raise ConfigurationError(
             f"{path}: expected a JSON list of ScenarioSpec objects")
     return [ScenarioSpec.from_dict(entry) for entry in payload]
 
@@ -148,7 +148,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                          fail_fast=args.fail_fast,
                          retry_quarantined=args.retry_quarantined)
 
-    t0 = time.perf_counter()
+    t0 = monotonic()
 
     def verbose_progress(outcome: ShardOutcome, finished: int,
                          total: int, stats: RunProgress) -> None:
@@ -179,7 +179,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         ", telemetry" if args.telemetry else "")
     runner.run(progress=verbose_progress if args.verbose
                else quiet_progress)
-    elapsed = time.perf_counter() - t0
+    elapsed = monotonic() - t0
     summary = (f"completed {len(specs)} scenarios in {elapsed:.2f}s "
                f"({len(specs) / elapsed:.0f} scenarios/s); results in "
                f"{store.path}")

@@ -49,6 +49,7 @@ from repro.exceptions import (
     ConfigurationError,
     HorizonMismatchError,
     InfeasibleActionError,
+    StateError,
     TraceCorruptionError,
 )
 from repro.fleet.stream import BatchTraceStream, TraceStream
@@ -96,7 +97,7 @@ class StreamingAggregator:
 
     def __init__(self, batch: int):
         if batch < 1:
-            raise ValueError(f"need batch >= 1, got {batch}")
+            raise ConfigurationError(f"need batch >= 1, got {batch}")
         self.batch = batch
         self._sums = {name: np.zeros(batch) for name in _SUMMED}
         self._peak_backlog = np.zeros(batch)
@@ -157,7 +158,7 @@ class StreamingAggregator:
         block = self._served_dt_block
         shape = (self.batch, self._buffered)
         if arrivals_dt.shape != shape:
-            raise ValueError(
+            raise ConfigurationError(
                 f"arrivals shape {arrivals_dt.shape} does not match "
                 f"buffered service {shape}")
         for index, replay in enumerate(self._replays):
@@ -170,7 +171,7 @@ class StreamingAggregator:
 
     def delay_stats(self, index: int) -> DelayStats:
         if self._buffered:
-            raise RuntimeError("flush_delays() not called for the "
+            raise StateError("flush_delays() not called for the "
                                "final chunk")
         return self._replays[index].stats()
 
@@ -366,7 +367,7 @@ class StreamingBatchSimulator(BatchSimulator):
                         f"grid capacity covers {capacity.size} slots "
                         f"but the horizon needs {self._n_slots}")
                 if np.any(capacity < 0):
-                    raise ValueError("grid capacity must be >= 0")
+                    raise ConfigurationError("grid capacity must be >= 0")
         self._chunk_slots = chunk_coarse * self._t_slots
         self._seeds: list[int | None] = [
             getattr(run.stream, "seed", None) for run in self.runs]

@@ -62,6 +62,7 @@ from repro.telemetry import (
     Telemetry,
     TelemetrySnapshot,
     build_manifest,
+    monotonic,
 )
 from repro.traces.base import TraceBlock, TraceSet
 
@@ -284,7 +285,7 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
     keys skip the harness entirely — the disabled path costs one dict
     lookup per shard.
     """
-    t0 = time.perf_counter()
+    t0 = monotonic()
     specs = [ScenarioSpec.from_dict(data) for data in payload["specs"]]
     chunk_coarse = int(payload["chunk_coarse"])
     streamable = bool(payload["streamable"])
@@ -374,7 +375,7 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
             "metrics": m.as_dict(),
         }
         for spec, m in zip(specs, metrics))
-    elapsed = time.perf_counter() - t0
+    elapsed = monotonic() - t0
     snapshot = None
     if tele is not None:
         if engine == "batch":
@@ -716,7 +717,7 @@ class FleetRunner:
         cumulative scenarios/s rate and ETA.  Skipped shards never
         appear in it; retried/bisected shards extend the total.
         """
-        run_t0 = time.perf_counter()
+        run_t0 = monotonic()
         records: list[dict | None] = [None] * len(self.specs)
         skipped = self._resume_index()
         if skipped:
@@ -790,7 +791,7 @@ class FleetRunner:
                     progress(outcome, finished, plan["total"],
                              RunProgress.compute(
                                  executed, plan["to_execute"],
-                                 time.perf_counter() - run_t0))
+                                 monotonic() - run_t0))
                 else:
                     progress(outcome, finished, plan["total"])
 
@@ -828,7 +829,7 @@ class FleetRunner:
             self._finish_manifest(parent_tele, shard_snapshots, engines,
                                   workers, executed, len(skipped),
                                   plan["total"], caches_before,
-                                  time.perf_counter() - run_t0)
+                                  monotonic() - run_t0)
         return records  # type: ignore[return-value]
 
     def _run_pool(self, payloads: list[dict], workers: int,
@@ -895,7 +896,7 @@ class FleetRunner:
                         queue.appendleft(payload)
                         submit_broken = True
                         break
-                    deadline = (time.monotonic() + self.shard_timeout
+                    deadline = (monotonic() + self.shard_timeout
                                 if self.shard_timeout is not None
                                 else None)
                     pending[future] = (payload, deadline)
@@ -906,7 +907,7 @@ class FleetRunner:
                 if self.shard_timeout is not None and pending:
                     timeout = max(0.0, min(
                         deadline for _, deadline in pending.values())
-                        - time.monotonic())
+                        - monotonic())
                 done, _ = wait(set(pending), timeout=timeout,
                                return_when=FIRST_COMPLETED)
                 broken = False
@@ -933,7 +934,7 @@ class FleetRunner:
                     pending.clear()
                     respawn()
                 elif not done and pending:
-                    now = time.monotonic()
+                    now = monotonic()
                     expired = [payload
                                for payload, deadline in pending.values()
                                if deadline is not None and deadline <= now]

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.sim.sweep import SweepPoint, SweepTable
+from repro.exceptions import StateError
 
 #: Metrics shown by default in aggregated tables (fleet-record keys).
 DEFAULT_TABLE_METRICS = ("time_avg_cost", "avg_delay_slots",
@@ -94,7 +95,8 @@ class ResultStore:
                 handle.seek(-1, 2)
                 if handle.read(1) != b"\n":
                     prefix = "\n"
-        with path.open("a", encoding="utf-8") as handle:
+        with path.open(  # replint: ignore[R004] the blessed append primitive itself
+                "a", encoding="utf-8") as handle:
             handle.write(prefix + "\n".join(lines) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
@@ -296,7 +298,7 @@ class ResultStore:
                 totals[key][metric] += float(row[metric])
             counts[key] += 1
         if not order:
-            raise ValueError(f"result store {self.root} is empty")
+            raise StateError(f"result store {self.root} is empty")
         points = tuple(
             SweepPoint(
                 value=values[key],

@@ -60,7 +60,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro import rng as rng_mod
-from repro.exceptions import TraceError
+from repro.exceptions import ConfigurationError, TraceError
 from repro.rng import RngFactory
 from repro.traces.base import TraceBlock, TraceSet
 from repro.traces.demand import (
@@ -134,7 +134,7 @@ class TraceStream:
     def windows(self, chunk_slots: int) -> Iterator[TraceSet]:
         """Iterate the whole horizon in windows of ``chunk_slots``."""
         if chunk_slots < 1:
-            raise ValueError(f"chunk must be >= 1 slot, got {chunk_slots}")
+            raise ConfigurationError(f"chunk must be >= 1 slot, got {chunk_slots}")
         cursor = self.open()
         position = 0
         while position < self.n_slots:
@@ -343,7 +343,7 @@ class StreamingPaperTraces(TraceStream):
                  price_model: PriceModel | None = None,
                  clip_p_grid: float | None = None):
         if n_slots < 1:
-            raise ValueError(f"horizon must have >= 1 slot, got {n_slots}")
+            raise ConfigurationError(f"horizon must have >= 1 slot, got {n_slots}")
         self._n_slots = int(n_slots)
         self.seed = int(seed)
         self.demand_model = demand_model or DemandModel()
@@ -402,7 +402,7 @@ class _BatchPaperCursor:
         stream = self._stream
         start = self._position
         if n_slots < 1:
-            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+            raise ConfigurationError(f"n_slots must be >= 1, got {n_slots}")
         if start + n_slots > stream.n_slots:
             raise TraceError(
                 f"read past end of stream: [{start}, {start + n_slots}) "
@@ -471,7 +471,7 @@ class BatchTraceStream:
 
     def __init__(self, streams: Sequence[StreamingPaperTraces]):
         if not streams:
-            raise ValueError("batch stream needs at least one scenario")
+            raise ConfigurationError("batch stream needs at least one scenario")
         for source in streams:
             if not isinstance(source, StreamingPaperTraces):
                 raise TypeError(

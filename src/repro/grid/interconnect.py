@@ -13,7 +13,7 @@ so no policy can overdraw the feeder.
 
 from __future__ import annotations
 
-from repro.exceptions import InfeasibleActionError
+from repro.exceptions import ConfigurationError, InfeasibleActionError
 
 
 class GridInterconnect:
@@ -21,7 +21,7 @@ class GridInterconnect:
 
     def __init__(self, p_grid: float):
         if p_grid < 0:
-            raise ValueError(f"Pgrid must be >= 0, got {p_grid}")
+            raise ConfigurationError(f"Pgrid must be >= 0, got {p_grid}")
         self.p_grid = p_grid
 
     def validate_long_term_rate(self, per_slot_energy: float) -> None:
@@ -49,6 +49,6 @@ class GridInterconnect:
     def max_block_purchase(self, fine_slots_per_coarse: int) -> float:
         """Largest legal advance block ``gbef ≤ T · Pgrid``."""
         if fine_slots_per_coarse < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"T must be >= 1, got {fine_slots_per_coarse}")
         return self.p_grid * fine_slots_per_coarse

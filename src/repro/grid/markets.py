@@ -15,7 +15,7 @@ physical, not commercial, and lives in
 
 from __future__ import annotations
 
-from repro.exceptions import InfeasibleActionError
+from repro.exceptions import ConfigurationError, InfeasibleActionError
 
 
 class MarketLedger:
@@ -74,7 +74,7 @@ class _MarketBase:
 
     def __init__(self, price_cap: float, name: str):
         if price_cap <= 0:
-            raise ValueError(f"price cap must be > 0, got {price_cap}")
+            raise ConfigurationError(f"price cap must be > 0, got {price_cap}")
         self.price_cap = price_cap
         self.ledger = MarketLedger(name)
 
@@ -104,7 +104,7 @@ class LongTermMarket(_MarketBase):
                  fine_slots_per_coarse: int):
         super().__init__(price_cap, "long-term")
         if fine_slots_per_coarse < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"T must be >= 1, got {fine_slots_per_coarse}")
         self.fine_slots_per_coarse = fine_slots_per_coarse
         self._current_block = 0.0

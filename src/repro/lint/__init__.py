@@ -1,0 +1,37 @@
+"""repro-lint: AST-based enforcement of this repo's coding invariants.
+
+See ``repro/lint/README.md`` for the rule catalogue, suppression
+syntax and baseline workflow.  CLI::
+
+    PYTHONPATH=src python -m repro.lint src/repro
+
+Programmatic::
+
+    from repro.lint import run_lint
+    report = run_lint(["src/repro"])
+    assert report.clean, report.findings
+"""
+
+from repro.lint.baseline import Baseline, fingerprint
+from repro.lint.core import (
+    Finding,
+    LintReport,
+    ModuleContext,
+    Rule,
+    build_context,
+    run_lint,
+)
+from repro.lint.rules import ALL_RULES, RULES_BY_ID
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "RULES_BY_ID",
+    "Rule",
+    "build_context",
+    "fingerprint",
+    "run_lint",
+]

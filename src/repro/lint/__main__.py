@@ -1,0 +1,134 @@
+"""CLI for repro-lint: ``python -m repro.lint [paths...]``.
+
+Exit status: 0 when clean (after suppressions and baseline), 1 when
+live findings remain, 2 on usage errors.  ``--format json`` emits one
+machine-readable report object; the default human format prints one
+``path:line: [Rxxx] message`` per finding, grouped by file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.lint.baseline import Baseline
+from repro.lint.core import run_lint
+from repro.lint.rules import ALL_RULES, RULES_BY_ID
+
+#: Baseline auto-discovered in the working directory when --baseline
+#: is not given (the checked-in repo-root file).
+DEFAULT_BASELINE_NAME = "lint-baseline.txt"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="repro-specific invariant checker (see "
+                    "repro/lint/README.md)")
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)")
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)")
+    parser.add_argument(
+        "--rules", metavar="R001,R002,...",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help=f"baseline file of accepted legacy findings (default: "
+             f"./{DEFAULT_BASELINE_NAME} when present)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline, report every finding")
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="write current findings as a new baseline and exit 0 "
+             "(hand-edit the placeholder justifications afterwards)")
+    return parser
+
+
+def _select_rules(spec: str | None):
+    if spec is None:
+        return ALL_RULES
+    selected = []
+    for rule_id in spec.split(","):
+        rule_id = rule_id.strip()
+        rule = RULES_BY_ID.get(rule_id)
+        if rule is None:
+            known = ", ".join(sorted(RULES_BY_ID))
+            raise ReproError(
+                f"unknown rule {rule_id!r}; known rules: {known}")
+        selected.append(rule)
+    return tuple(selected)
+
+
+def _resolve_baseline(args) -> Baseline | None:
+    if args.no_baseline or args.write_baseline:
+        return None
+    if args.baseline:
+        return Baseline.load(args.baseline)
+    default = Path(DEFAULT_BASELINE_NAME)
+    if default.exists():
+        return Baseline.load(default)
+    return None
+
+
+def _print_human(report, baseline_used: bool) -> None:
+    current_path = None
+    for finding in report.findings:
+        if finding.path != current_path:
+            current_path = finding.path
+            print(current_path)
+        print(f"  {finding.line}: [{finding.rule}] {finding.message}")
+        if finding.snippet:
+            print(f"      {finding.snippet}")
+    tail = (f"{report.files_scanned} files, "
+            f"{len(report.findings)} finding(s), "
+            f"{report.suppressed_count} suppressed, "
+            f"{len(report.baselined)} baselined"
+            + ("" if baseline_used else " (no baseline)"))
+    print(("FAIL: " if report.findings else "clean: ") + tail)
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id} {rule.name}: {rule.summary}")
+        return 0
+
+    try:
+        rules = _select_rules(args.rules)
+        baseline = _resolve_baseline(args)
+        report = run_lint(args.paths, rules=rules, baseline=baseline)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(
+            report.findings,
+            comment="grandfathered; justify or fix").dump(
+                args.write_baseline)
+        print(f"wrote {len(report.findings)} entries to "
+              f"{args.write_baseline}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        _print_human(report, baseline is not None)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Baseline files: grandfathered legacy findings by content fingerprint.
+
+A baseline lets the lint gate demand **zero new findings** while old
+debt is paid down incrementally.  Each entry fingerprints one accepted
+finding as ``sha256(rule : filename : stripped-source-line)`` — no line
+numbers, so unrelated edits above a grandfathered site do not churn the
+file; moving, editing or fixing the flagged line invalidates its entry
+(the tier-1 gate flags stale entries so paid-down debt gets deleted).
+
+File format — one entry per line, comments mandatory::
+
+    # repro-lint baseline (see repro/lint/README.md)
+    R003 repro/legacy/foo.py 0a1b2c3d4e5f  # pre-taxonomy raise, PR 11
+
+The trailing ``#`` comment is required: every grandfathered finding
+must say *why* it is allowed to exist, mirroring the inline-suppression
+rule.  Entries without a justification are rejected at load time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.exceptions import ConfigurationError
+
+_ENTRY_RE = re.compile(
+    r"^(?P<rule>R\d{3})\s+(?P<path>\S+)\s+(?P<digest>[0-9a-f]{12})"
+    r"\s*(?:#\s*(?P<comment>.*\S))?\s*$")
+
+_HEADER = ("# repro-lint baseline: accepted legacy findings, one per "
+           "line as\n"
+           "#   <rule> <path> <fingerprint>  # <justification>\n"
+           "# Regenerate entries with: python -m repro.lint "
+           "--write-baseline <file> <paths>\n")
+
+
+def fingerprint(rule: str, path: str, snippet: str) -> str:
+    """12-hex content fingerprint of one finding.
+
+    Keyed on the file's *name* rather than its full path so the same
+    baseline matches whether the tree is linted as ``src/repro`` or
+    from another working directory.
+    """
+    name = path.rsplit("/", 1)[-1]
+    payload = f"{rule}:{name}:{snippet.strip()}".encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    digest: str
+    comment: str
+
+    def line(self) -> str:
+        return f"{self.rule} {self.path} {self.digest}  # {self.comment}"
+
+
+class Baseline:
+    """The set of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()):
+        self.entries = list(entries)
+        self._digests = {(e.rule, e.digest) for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def matches(self, finding) -> bool:
+        """Whether ``finding`` is grandfathered by this baseline."""
+        digest = fingerprint(finding.rule, finding.path, finding.snippet)
+        return (finding.rule, digest) in self._digests
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Parse a baseline file; malformed/unjustified entries raise."""
+        text = Path(path).read_text(encoding="utf-8")
+        entries = []
+        for number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            match = _ENTRY_RE.match(line)
+            if match is None:
+                raise ConfigurationError(
+                    f"{path}:{number}: malformed baseline entry "
+                    f"{line!r}; expected '<rule> <path> <12-hex>  "
+                    f"# <justification>'")
+            comment = match.group("comment")
+            if not comment:
+                raise ConfigurationError(
+                    f"{path}:{number}: baseline entry has no "
+                    f"justification comment; every grandfathered "
+                    f"finding must say why it is accepted")
+            entries.append(BaselineEntry(
+                rule=match.group("rule"), path=match.group("path"),
+                digest=match.group("digest"), comment=comment))
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable,
+                      comment: str = "grandfathered") -> "Baseline":
+        """A baseline accepting exactly ``findings`` (for
+        ``--write-baseline``); the shared placeholder comment is meant
+        to be hand-edited into real per-entry justifications."""
+        entries = [BaselineEntry(
+            rule=f.rule, path=f.path,
+            digest=fingerprint(f.rule, f.path, f.snippet),
+            comment=comment) for f in findings]
+        return cls(entries)
+
+    def dump(self, path: str | Path) -> None:
+        body = "".join(entry.line() + "\n"
+                       for entry in sorted(
+                           self.entries,
+                           key=lambda e: (e.path, e.rule, e.digest)))
+        Path(path).write_text(_HEADER + body, encoding="utf-8")

@@ -1,0 +1,100 @@
+"""R002 backend-purity: kernel modules compute through ``xp``, not np.
+
+The array-backend layer (:mod:`repro.backend`) keeps CuPy/JAX drop-in
+by routing every kernel computation through the active backend's
+namespace (``xp = current_xp()``).  A direct ``np.<func>(...)`` call in
+a backend-generic module silently pins that operation to host NumPy —
+it still *works* on the default backend, which is exactly why only a
+static check catches it before a GPU run does.
+
+Scope: the known backend-generic kernel modules
+(``repro/core/p5_vec.py``, ``repro/backend/workspace.py``) plus any
+module carrying the opt-in marker comment::
+
+    # replint: backend-generic
+
+Allowed ``np.`` references inside scoped modules:
+
+* type annotations (``np.ndarray`` in signatures — type-level only);
+* dtype/constant/type attributes (``np.float64``, ``np.inf``,
+  ``np.nan``, ``np.newaxis``, ``np.pi``, ``np.bool_`` ...) — these are
+  scalars and dtype tags every backend accepts;
+* ``np.errstate`` (a host-side floating-point-env guard, not array
+  compute);
+* the ``np.random`` namespace (R001's jurisdiction).
+
+Anything else — ``np.where``, ``np.minimum``, ``np.zeros`` — is a
+finding: reach for the ``xp`` namespace, or suppress inline with a
+reason when the call is a deliberate host-side step after an explicit
+``backend.to_numpy(...)`` transfer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import (
+    BACKEND_GENERIC_MARKER,
+    Finding,
+    ModuleContext,
+    Rule,
+    dotted_name,
+)
+
+#: Modules that are backend-generic by construction (suffix match).
+KERNEL_MODULES = (
+    "repro/core/p5_vec.py",
+    "repro/backend/workspace.py",
+)
+
+#: np attributes that are dtypes, scalar constants or host-env guards —
+#: safe in backend-generic code because no array compute happens on np.
+ALLOWED_ATTRS = frozenset({
+    "ndarray", "dtype", "generic",
+    "float64", "float32", "float16", "int64", "int32", "int16", "int8",
+    "uint64", "uint32", "uint16", "uint8", "bool_", "intp",
+    "integer", "floating", "complexfloating", "number",
+    "inf", "nan", "newaxis", "pi", "e", "euler_gamma",
+    "errstate", "finfo", "iinfo",
+    "random",  # np.random.* is R001's jurisdiction, not purity's
+})
+
+
+def _in_scope(ctx: ModuleContext) -> bool:
+    posix = ctx.posix
+    if any(posix.endswith(suffix) for suffix in KERNEL_MODULES):
+        return True
+    return BACKEND_GENERIC_MARKER in ctx.source
+
+
+class BackendPurity(Rule):
+    id = "R002"
+    name = "backend-purity"
+    summary = ("backend-generic kernels compute via the xp namespace; "
+               "direct np.* calls pin work to host NumPy")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if ctx.in_annotation(node):
+                continue
+            if not isinstance(node.value, ast.Name):
+                continue  # only direct np.<attr>; nested chains are
+                # reported at their innermost np.<attr> node
+            if node.value.id not in ("np", "numpy"):
+                continue
+            if node.attr in ALLOWED_ATTRS:
+                continue
+            name = dotted_name(node)
+            yield self.finding(
+                ctx, node,
+                f"direct `{name}` in a backend-generic module; compute "
+                "through the xp namespace (repro.backend.current_xp) "
+                "so CuPy/JAX stay drop-in")
+
+
+RULE = BackendPurity()

@@ -1,0 +1,135 @@
+"""R003 exception-taxonomy: raise typed repro errors, not builtins.
+
+Every error this library raises derives from
+:class:`repro.exceptions.ReproError`, so callers (and the fleet
+runner's retry/bisect/quarantine machinery) can distinguish library
+failures from genuine bugs with one ``except`` clause, and quarantine
+records carry a stable ``type`` field.  A bare ``raise ValueError``
+punches a hole in that contract.
+
+Two checks:
+
+* **Forbidden raises** — ``raise ValueError/RuntimeError/Exception``
+  anywhere under ``src/repro`` (except ``repro/exceptions.py``
+  itself).  Route through the taxonomy instead: invalid
+  parameters/inputs → ``ConfigurationError``; an operation invoked
+  before the state it needs exists → ``StateError``; a control action
+  violating physics → ``InfeasibleActionError``; solver trouble →
+  ``SolverError`` and friends.  ``TypeError`` stays allowed by
+  convention: a wrong *type* is a programming error at the call site,
+  not a library failure mode.
+* **Pickle-reconstructible exceptions** — fleet errors cross the
+  process-pool boundary, and the default ``Exception.__reduce__``
+  reconstructs as ``cls(*self.args)`` (usually just the message).  A
+  custom exception ``__init__`` with a *required* extra parameter
+  breaks that round-trip at unpickle time; one with optional extras
+  silently drops them unless ``__reduce__`` is defined.  The rule
+  therefore flags any ``*Error``/``*Exception`` class whose
+  ``__init__`` takes required parameters beyond the message and which
+  does not define ``__reduce__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleContext, Rule
+
+FORBIDDEN_RAISES = frozenset({"ValueError", "RuntimeError", "Exception"})
+
+#: Taxonomy hints keyed by forbidden name, for the finding message.
+_HINTS = {
+    "ValueError": "ConfigurationError (invalid parameter/input), "
+                  "StateError (missing prior step) or "
+                  "InfeasibleActionError (physics violation)",
+    "RuntimeError": "StateError (operation before its required prior "
+                    "step) or a more specific ReproError",
+    "Exception": "a concrete repro.exceptions type",
+}
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def _looks_like_exception_class(node: ast.ClassDef) -> bool:
+    if node.name.endswith(("Error", "Exception")):
+        return True
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else \
+            base.id if isinstance(base, ast.Name) else ""
+        if name.endswith(("Error", "Exception")):
+            return True
+    return False
+
+
+def _required_extra_args(init: ast.FunctionDef) -> list[str]:
+    """Parameters beyond (self, message) that lack a default."""
+    args = init.args
+    positional = args.posonlyargs + args.args
+    first_with_default = len(positional) - len(args.defaults)
+    # Index 0 is self, index 1 the message; anything past that without
+    # a default makes cls(*(message,)) unreconstructible.
+    required = [arg.arg for index, arg in enumerate(positional)
+                if index >= 2 and index < first_with_default]
+    required += [arg.arg
+                 for arg, default in zip(args.kwonlyargs,
+                                         args.kw_defaults)
+                 if default is None]
+    return required
+
+
+class ExceptionTaxonomy(Rule):
+    id = "R003"
+    name = "exception-taxonomy"
+    summary = ("no bare ValueError/RuntimeError/Exception raises; "
+               "custom exceptions must survive the pickle round-trip")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.posix.endswith("repro/exceptions.py"):
+            forbidden: frozenset = frozenset()
+        else:
+            forbidden = FORBIDDEN_RAISES
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Raise):
+                name = _raised_name(node)
+                if name in forbidden:
+                    yield self.finding(
+                        ctx, node,
+                        f"`raise {name}` bypasses the repro.exceptions "
+                        f"taxonomy; use {_HINTS[name]}")
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: ModuleContext,
+                     node: ast.ClassDef) -> Iterator[Finding]:
+        if not _looks_like_exception_class(node):
+            return
+        init = None
+        has_reduce = False
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef):
+                if item.name == "__init__":
+                    init = item
+                elif item.name == "__reduce__":
+                    has_reduce = True
+        if init is None or has_reduce:
+            return
+        required = _required_extra_args(init)
+        if required:
+            yield self.finding(
+                ctx, init,
+                f"exception {node.name}.__init__ takes required extra "
+                f"parameter(s) {required} but defines no __reduce__; "
+                "the default pickle round-trip reconstructs as "
+                "cls(*args) and will fail in the process pool — give "
+                "the extras defaults or define __reduce__")
+
+
+RULE = ExceptionTaxonomy()

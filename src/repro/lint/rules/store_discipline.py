@@ -1,0 +1,90 @@
+"""R004 store-discipline: fleet sidecar writes go through _append_lines.
+
+The fleet's durability story — crashed sweeps keep every finished
+shard, readers tolerate exactly one torn tail line, resume scans see a
+consistent prefix — holds only because **every** append to the JSONL
+files under a result store goes through
+:meth:`repro.fleet.store.ResultStore._append_lines`: serialize first,
+heal a torn tail, write whole lines, one flush + fsync per batch.  A
+raw ``open(path, "a")`` or a ``json.dump(obj, handle)`` elsewhere in
+``repro/fleet/`` can interleave partial records, skip the fsync, or
+glue onto a torn fragment.
+
+Scope: modules under ``repro/fleet/``.  Flagged:
+
+* any ``open(...)`` / ``Path.open(...)`` in an append mode
+  (``"a"``, ``"ab"``, ``"a+"`` ...);
+* any ``json.dump`` call (streaming serialization into an open handle
+  — the discipline is ``json.dumps`` first, then append whole lines).
+
+The blessed primitive itself carries an inline suppression — the one
+place allowed to open in append mode is the function that *implements*
+the discipline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleContext, Rule, dotted_name
+
+_SCOPE_FRAGMENT = "repro/fleet/"
+
+
+def _mode_argument(node: ast.Call) -> str | None:
+    """The mode string of an ``open``-like call, if statically known."""
+    func = node.func
+    candidates = []
+    if isinstance(func, ast.Name):  # open(path, "a")
+        if len(node.args) >= 2:
+            candidates.append(node.args[1])
+    elif isinstance(func, ast.Attribute):  # path.open("a")
+        if len(node.args) >= 1:
+            candidates.append(node.args[0])
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            candidates.append(keyword.value)
+    for candidate in candidates:
+        if isinstance(candidate, ast.Constant) \
+                and isinstance(candidate.value, str):
+            return candidate.value
+    return None
+
+
+class StoreDiscipline(Rule):
+    id = "R004"
+    name = "store-discipline"
+    summary = ("fleet sidecar appends go through the fsync'd "
+               "torn-write-tolerant ResultStore._append_lines")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if _SCOPE_FRAGMENT not in ctx.posix:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name == "json.dump":
+                yield self.finding(
+                    ctx, node,
+                    "`json.dump` streams partial records into an open "
+                    "handle; serialize with json.dumps and append "
+                    "whole lines via ResultStore._append_lines")
+                continue
+            is_open = (isinstance(node.func, ast.Name)
+                       and node.func.id == "open") or \
+                      (isinstance(node.func, ast.Attribute)
+                       and node.func.attr == "open")
+            if not is_open:
+                continue
+            mode = _mode_argument(node)
+            if mode is not None and "a" in mode:
+                yield self.finding(
+                    ctx, node,
+                    f"raw append-mode open (mode={mode!r}) in "
+                    "repro/fleet/ bypasses the torn-write discipline; "
+                    "append via ResultStore._append_lines")
+
+
+RULE = StoreDiscipline()

@@ -1,0 +1,82 @@
+"""R005 wallclock-hygiene: clock reads live only in repro.telemetry.
+
+Fleet records must be a pure function of (spec, seed, code) — that is
+what makes resume/replay bit-identical and lets the equivalence suite
+compare engines at all.  A clock read on a record-producing path is
+the classic way that property quietly dies ("just stamp the record
+with the time...").  The discipline: :mod:`repro.telemetry` owns the
+clock; anything else that legitimately needs elapsed time (shard
+timing, CLI progress rates) calls
+:func:`repro.telemetry.monotonic` — one substitutable indirection —
+and the values it produces stay out of result records.
+
+Scope: everything under ``src/repro`` except ``repro/telemetry/``.
+Flagged references (calls or bare attribute reads):
+
+* ``time.time``/``time.time_ns``, ``time.monotonic``/``_ns``,
+  ``time.perf_counter``/``_ns``, ``time.process_time``/``_ns``,
+  ``time.clock_gettime``;
+* wallclock formatting reads: ``time.localtime``, ``time.gmtime``,
+  ``time.strftime``, ``time.ctime``;
+* ``datetime.now`` / ``datetime.utcnow`` / ``datetime.today`` /
+  ``date.today`` (any aliasing of the ``datetime`` module, e.g.
+  ``_datetime.datetime.now``).
+
+``time.sleep`` is deliberately allowed — it delays, it does not
+observe the clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleContext, Rule, dotted_name
+
+_EXEMPT_FRAGMENT = "repro/telemetry/"
+
+_TIME_ATTRS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time",
+    "process_time_ns", "clock_gettime", "clock_gettime_ns",
+    "localtime", "gmtime", "strftime", "ctime",
+})
+
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+class WallclockHygiene(Rule):
+    id = "R005"
+    name = "wallclock-hygiene"
+    summary = ("no clock reads outside repro/telemetry/; use "
+               "repro.telemetry.monotonic for elapsed time")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if _EXEMPT_FRAGMENT in ctx.posix:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            name = dotted_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            attr = parts[-1]
+            base = parts[:-1]
+            if attr in _TIME_ATTRS and base and base[-1] == "time":
+                yield self.finding(
+                    ctx, node,
+                    f"clock read `{name}` outside repro/telemetry/; "
+                    "record-producing paths must be clock-free — use "
+                    "repro.telemetry.monotonic() for elapsed time")
+            elif attr in _DATETIME_ATTRS and base and any(
+                    part in ("datetime", "date") or
+                    part.endswith("datetime")
+                    for part in base):
+                yield self.finding(
+                    ctx, node,
+                    f"wallclock read `{name}` outside repro/telemetry/; "
+                    "timestamps belong to the telemetry manifest layer")
+
+
+RULE = WallclockHygiene()

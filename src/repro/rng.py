@@ -20,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 from numpy.random.bit_generator import ISeedSequence
+from repro.exceptions import ConfigurationError
 
 #: Root seed used by the paper-preset traces when none is given.
 DEFAULT_SEED = 20130708  # ICDCS 2013 began July 8, 2013.
@@ -95,7 +96,7 @@ def batch_seed_states(seeds: np.ndarray) -> np.ndarray:
     """
     seeds = np.asarray(seeds, dtype=np.uint64)
     if seeds.ndim != 1:
-        raise ValueError(f"seeds must be 1-D, got shape {seeds.shape}")
+        raise ConfigurationError(f"seeds must be 1-D, got shape {seeds.shape}")
     b = seeds.shape[0]
 
     # Entropy words, zero-padded to the pool size.  numpy coerces an
@@ -161,7 +162,7 @@ class _PrecomputedSeedState(ISeedSequence):
     def generate_state(self, n_words: int, dtype=np.uint32) -> np.ndarray:
         words = self._words
         if n_words != words.shape[0] or np.dtype(dtype) != words.dtype:
-            raise ValueError(
+            raise ConfigurationError(
                 f"precomputed state holds {words.shape[0]} words of "
                 f"{words.dtype}, not {n_words} of {np.dtype(dtype)}")
         return words

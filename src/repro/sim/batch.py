@@ -46,6 +46,7 @@ from repro.core.interfaces import (
 from repro.core.smartdpss import SmartDPSS
 from repro.core.smartdpss_vec import VecSmartDPSS
 from repro.exceptions import (
+    ConfigurationError,
     HorizonMismatchError,
     InfeasibleActionError,
 )
@@ -145,7 +146,7 @@ class ScalarControllerBatch:
 
     def __init__(self, controllers: Sequence[Controller]):
         if not controllers:
-            raise ValueError("need at least one controller")
+            raise ConfigurationError("need at least one controller")
         self.controllers = list(controllers)
 
     @property
@@ -298,7 +299,7 @@ class BatchSimulator:
         reads clocks, so records are bit-identical either way.
         """
         if not runs:
-            raise ValueError("need at least one run")
+            raise ConfigurationError("need at least one run")
         self.runs = list(runs)
         systems = [run.system for run in self.runs]
         shapes = {(s.fine_slots_per_coarse, s.num_coarse_slots,
@@ -348,7 +349,7 @@ class BatchSimulator:
                     f"grid capacity covers {capacity.size} slots but "
                     f"the horizon needs {self._n_slots}")
             if np.any(capacity < 0):
-                raise ValueError("grid capacity must be >= 0")
+                raise ConfigurationError("grid capacity must be >= 0")
             rows.append(capacity[:self._n_slots])
         return np.stack(rows)
 
@@ -500,7 +501,7 @@ class BatchSimulator:
             raise InfeasibleActionError(
                 f"real-time purchase must be >= 0, got {worst}")
         if bad_gamma:
-            raise ValueError(
+            raise InfeasibleActionError(
                 f"gamma must be in [0, 1], got "
                 f"[{float(gamma.min())}, {float(gamma.max())}]")
 
@@ -952,7 +953,7 @@ def simulate_many(runs: Sequence[RunSpec], executor: str = "batch",
       :func:`repro.fleet.runner.simulate_many_process`.
     """
     if executor not in EXECUTORS:
-        raise ValueError(
+        raise ConfigurationError(
             f"unknown executor {executor!r}; expected one of {EXECUTORS}")
     runs = list(runs)
     if not runs:

@@ -33,7 +33,11 @@ from repro.core.interfaces import (
     RealTimeDecision,
     SlotFeedback,
 )
-from repro.exceptions import HorizonMismatchError, InfeasibleActionError
+from repro.exceptions import (
+    ConfigurationError,
+    HorizonMismatchError,
+    InfeasibleActionError,
+)
 from repro.grid.interconnect import GridInterconnect
 from repro.grid.markets import LongTermMarket, RealTimeMarket
 from repro.sim.recorder import Recorder
@@ -76,7 +80,7 @@ class Simulator:
                     f"grid capacity covers {capacity.size} slots but "
                     f"the horizon needs {system.horizon_slots}")
             if np.any(capacity < 0):
-                raise ValueError("grid capacity must be >= 0")
+                raise ConfigurationError("grid capacity must be >= 0")
             self.grid_capacity = capacity
 
     # ------------------------------------------------------------------

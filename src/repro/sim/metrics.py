@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from repro.exceptions import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -32,7 +33,7 @@ class CostBreakdown:
     def time_average(self, n_slots: int) -> float:
         """The paper's objective: average cost per fine slot."""
         if n_slots <= 0:
-            raise ValueError(f"n_slots must be > 0, got {n_slots}")
+            raise ConfigurationError(f"n_slots must be > 0, got {n_slots}")
         return self.total / n_slots
 
     def as_dict(self) -> dict[str, float]:

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sim.results import SimulationResult
+from repro.exceptions import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -44,11 +45,11 @@ class OutageSchedule:
     def __post_init__(self) -> None:
         for start, duration in self.events:
             if not 0 <= start < self.n_slots:
-                raise ValueError(
+                raise ConfigurationError(
                     f"outage start {start} outside horizon "
                     f"[0, {self.n_slots})")
             if duration < 1:
-                raise ValueError(
+                raise ConfigurationError(
                     f"outage duration must be >= 1, got {duration}")
 
     @property
@@ -82,12 +83,12 @@ def sample_outages(n_slots: int, rng: np.random.Generator,
     Events may overlap; the mask union handles it.
     """
     if n_slots < 1:
-        raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        raise ConfigurationError(f"n_slots must be >= 1, got {n_slots}")
     if events_per_month < 0:
-        raise ValueError(
+        raise ConfigurationError(
             f"events_per_month must be >= 0, got {events_per_month}")
     if mean_duration_slots < 1:
-        raise ValueError(
+        raise ConfigurationError(
             f"mean duration must be >= 1 slot, got "
             f"{mean_duration_slots}")
     rate_per_slot = events_per_month / 744.0

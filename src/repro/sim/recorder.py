@@ -9,6 +9,7 @@ is recorded, so any figure can be regenerated from a single run.
 from __future__ import annotations
 
 import numpy as np
+from repro.exceptions import ConfigurationError
 
 #: Quantities tracked per fine slot (all MWh or dollars).
 SERIES_NAMES = (
@@ -38,7 +39,7 @@ class Recorder:
 
     def __init__(self, n_slots: int):
         if n_slots < 1:
-            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+            raise ConfigurationError(f"n_slots must be >= 1, got {n_slots}")
         self.n_slots = n_slots
         self._series = {name: np.zeros(n_slots) for name in SERIES_NAMES}
         self._cursor = 0

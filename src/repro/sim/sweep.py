@@ -25,6 +25,7 @@ from typing import Callable, Sequence
 from repro.analysis.tables import format_table
 from repro.sim.batch import RunSpec, simulate_many
 from repro.sim.results import SimulationResult
+from repro.exceptions import ConfigurationError
 
 #: Metrics extracted per run by default (name → extractor).
 DEFAULT_METRICS: dict[str, Callable[[SimulationResult], float]] = {
@@ -115,9 +116,9 @@ class Sweep:
         memory-bounded fleet pipeline in :mod:`repro.fleet`.
         """
         if not self.values:
-            raise ValueError("sweep has no values")
+            raise ConfigurationError("sweep has no values")
         if not seeds:
-            raise ValueError("sweep needs at least one seed")
+            raise ConfigurationError("sweep needs at least one seed")
         runs = []
         for value in self.values:
             for seed in seeds:
@@ -128,7 +129,7 @@ class Sweep:
                 elif len(built) == 4:
                     system, controller, traces, observed = built
                 else:
-                    raise ValueError(
+                    raise ConfigurationError(
                         "build() must return (system, controller, "
                         "traces[, observed])")
                 runs.append(RunSpec(system=system, controller=controller,

@@ -32,6 +32,7 @@ import numpy as np
 from repro.backend import current_xp
 from repro.sim.recorder import SERIES_NAMES
 from repro.workload.queue import DelayStats
+from repro.exceptions import ConfigurationError
 
 #: Scalar backlog indicator tolerance (``BacklogQueue._TOLERANCE``).
 _Q_TOLERANCE = 1e-9
@@ -43,7 +44,7 @@ def as_batch_array(values, n: int, name: str) -> np.ndarray:
     if array.ndim == 0:
         array = np.full(n, float(array))
     if array.shape != (n,):
-        raise ValueError(
+        raise ConfigurationError(
             f"{name} must be scalar or shape ({n},), got {array.shape}")
     return array
 
@@ -196,7 +197,7 @@ class VecCycleLedger:
         self.budget = np.array(
             [np.inf if b is None else float(b) for b in budgets])
         if self.budget.shape != (n,):
-            raise ValueError(f"budgets must have length {n}")
+            raise ConfigurationError(f"budgets must have length {n}")
         self.operations = np.zeros(n, dtype=np.int64)
 
     @property
@@ -281,7 +282,7 @@ class BatchRecorder:
 
     def __init__(self, n_scenarios: int, n_slots: int):
         if n_scenarios < 1 or n_slots < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"need n_scenarios >= 1 and n_slots >= 1, got "
                 f"({n_scenarios}, {n_slots})")
         self.n_scenarios = n_scenarios

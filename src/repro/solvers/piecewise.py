@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+from repro.exceptions import ConfigurationError
 
 
 def minimize_over_candidates(
@@ -46,7 +47,7 @@ def minimize_over_candidates(
             best_value = value
             best_point = point
     if best_point is None:
-        raise ValueError("no candidates supplied")
+        raise ConfigurationError("no candidates supplied")
     return best_value, best_point
 
 
@@ -60,7 +61,7 @@ def piecewise_candidates_1d(lower: float, upper: float,
     ``[lower, upper]``.
     """
     if lower > upper:
-        raise ValueError(f"empty interval [{lower}, {upper}]")
+        raise ConfigurationError(f"empty interval [{lower}, {upper}]")
     array = np.asarray(breakpoints, dtype=float)
     inside = array[(lower <= array) & (array <= upper)]
     ends = np.array([lower, upper], dtype=float)
@@ -86,7 +87,7 @@ def box_edge_candidates(grt_bounds: tuple[float, float],
     g0, g1 = grt_bounds
     c0, c1 = gamma_bounds
     if g0 > g1 or c0 > c1:
-        raise ValueError(
+        raise ConfigurationError(
             f"empty box [{g0},{g1}] x [{c0},{c1}]")
     candidates: list[tuple[float, float]] = [
         (g0, c0), (g0, c1), (g1, c0), (g1, c1),

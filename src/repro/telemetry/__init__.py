@@ -26,6 +26,7 @@ from repro.telemetry.core import (
     TELEMETRY_OFF,
     Telemetry,
     TelemetrySnapshot,
+    monotonic,
     resolve_telemetry,
 )
 from repro.telemetry.manifest import (
@@ -46,6 +47,7 @@ __all__ = [
     "TelemetrySnapshot",
     "build_manifest",
     "fleet_content_hash",
+    "monotonic",
     "render_manifest",
     "resolve_telemetry",
     "stage_split",

@@ -53,8 +53,22 @@ __all__ = [
     "TELEMETRY_OFF",
     "Telemetry",
     "TelemetrySnapshot",
+    "monotonic",
     "resolve_telemetry",
 ]
+
+
+def monotonic() -> float:
+    """The library's one blessed clock read (monotonic seconds).
+
+    Everything outside :mod:`repro.telemetry` that needs elapsed time
+    (shard timing, CLI progress rates) calls this instead of touching
+    :mod:`time` directly, so the wallclock-hygiene lint rule
+    (``repro.lint`` R005) can statically guarantee that record-producing
+    code paths never read a clock the replay layer cannot substitute.
+    Same clock as :attr:`Telemetry.clock` (:func:`time.perf_counter`).
+    """
+    return time.perf_counter()
 
 
 class _NullSpan:

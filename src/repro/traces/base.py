@@ -22,7 +22,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import HorizonMismatchError, TraceError
+from repro.exceptions import (
+    ConfigurationError,
+    HorizonMismatchError,
+    TraceError,
+)
 
 
 def slot_time_indices(start_slot: int, n_slots: int, slot_hours: float,
@@ -197,7 +201,7 @@ class TraceSet:
         """
         t = int(fine_slots_per_coarse)
         if t < 1:
-            raise ValueError(f"T must be >= 1, got {t}")
+            raise ConfigurationError(f"T must be >= 1, got {t}")
         if self.n_slots % t != 0:
             raise HorizonMismatchError(
                 f"{self.n_slots} slots do not divide into coarse slots "
@@ -237,7 +241,7 @@ class TraceSet:
     def head(self, n_slots: int) -> "TraceSet":
         """Truncate all series to the first ``n_slots`` slots."""
         if not 1 <= n_slots <= self.n_slots:
-            raise ValueError(
+            raise ConfigurationError(
                 f"n_slots must be in [1, {self.n_slots}], got {n_slots}")
         return TraceSet(
             demand_ds=self.demand_ds[:n_slots],
@@ -324,7 +328,7 @@ class TraceBlock:
         """
         t = int(fine_slots_per_coarse)
         if t < 1:
-            raise ValueError(f"T must be >= 1, got {t}")
+            raise ConfigurationError(f"T must be >= 1, got {t}")
         if self.n_slots % t != 0:
             raise HorizonMismatchError(
                 f"{self.n_slots} slots do not divide into coarse slots "

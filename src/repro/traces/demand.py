@@ -223,7 +223,7 @@ class GoogleClusterDemandGenerator:
                  ) -> tuple[np.ndarray, np.ndarray]:
         """Generate ``(dds, ddt)`` using sequential draws from ``rng``."""
         if n_slots < 1:
-            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+            raise ConfigurationError(f"n_slots must be >= 1, got {n_slots}")
         sensitive = self.delay_sensitive(n_slots, rng)
         tolerant = self.delay_tolerant(n_slots, rng)
         return sensitive, tolerant
@@ -330,7 +330,7 @@ class DemandTraceKernel:
 
     def __init__(self, models: Sequence[DemandModel]):
         if not models:
-            raise ValueError("need at least one demand model")
+            raise ConfigurationError("need at least one demand model")
         self.models = tuple(models)
         # Derived per-scenario constants use the same Python-scalar
         # arithmetic as the reference loops (``**`` and ``math.sqrt``

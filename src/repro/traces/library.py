@@ -19,6 +19,7 @@ from repro.traces.prices import NyisoLikePriceGenerator, PriceModel
 from repro.traces.scaling import clip_demand_peaks
 from repro.traces.solar import MidcLikeSolarGenerator, SolarModel
 from repro.traces.wind import WindModel, WindTraceGenerator
+from repro.exceptions import ConfigurationError
 
 
 def make_paper_traces(system: SystemConfig | None = None,
@@ -56,7 +57,7 @@ def make_paper_traces(system: SystemConfig | None = None,
         system = paper_system_config()
     slots = system.horizon_slots if n_slots is None else int(n_slots)
     if slots < 1:
-        raise ValueError(f"horizon must have >= 1 slot, got {slots}")
+        raise ConfigurationError(f"horizon must have >= 1 slot, got {slots}")
 
     factory = RngFactory(seed)
 

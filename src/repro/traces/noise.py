@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.traces.base import TraceSet
+from repro.exceptions import ConfigurationError
 
 
 def uniform_observation_noise(traces: TraceSet,
@@ -31,7 +32,7 @@ def uniform_observation_noise(traces: TraceSet,
     inputs.
     """
     if not 0 <= rel_error < 1:
-        raise ValueError(
+        raise ConfigurationError(
             f"relative error must be in [0, 1), got {rel_error}")
 
     def perturb(series: np.ndarray) -> np.ndarray:
@@ -68,7 +69,7 @@ class NoisyTraceView:
 
     def __post_init__(self) -> None:
         if self.true.n_slots != self.observed.n_slots:
-            raise ValueError(
+            raise ConfigurationError(
                 f"true ({self.true.n_slots} slots) and observed "
                 f"({self.observed.n_slots} slots) traces disagree")
 

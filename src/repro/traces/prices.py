@@ -207,7 +207,7 @@ class NyisoLikePriceGenerator:
         call with a dedicated generator for reproducibility.
         """
         if n_slots < 1:
-            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+            raise ConfigurationError(f"n_slots must be >= 1, got {n_slots}")
         real_time = self.real_time_prices(n_slots, rng)
         forward = self.forward_curve(n_slots, rng)
         return real_time, forward
@@ -270,7 +270,7 @@ class PriceTraceKernel:
 
     def __init__(self, models: Sequence[PriceModel]):
         if not models:
-            raise ValueError("need at least one price model")
+            raise ConfigurationError("need at least one price model")
         self.models = tuple(models)
         self._mean = np.array([m.mean_price for m in models])
         self._weekend_factor = np.array(

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.traces.base import TraceSet
+from repro.exceptions import ConfigurationError
 
 
 def clip_demand_peaks(traces: TraceSet, p_grid: float) -> TraceSet:
@@ -30,7 +31,7 @@ def clip_demand_peaks(traces: TraceSet, p_grid: float) -> TraceSet:
     carry the delay-sensitive load).
     """
     if p_grid <= 0:
-        raise ValueError(f"Pgrid must be > 0 to clip, got {p_grid}")
+        raise ConfigurationError(f"Pgrid must be > 0 to clip, got {p_grid}")
     total = traces.demand_total
     scale = np.ones_like(total)
     over = total > p_grid
@@ -53,7 +54,7 @@ def rescale_renewable_penetration(traces: TraceSet,
     cycle, intermittency) is preserved; only its magnitude changes.
     """
     if penetration < 0:
-        raise ValueError(
+        raise ConfigurationError(
             f"penetration must be >= 0, got {penetration}")
     total_renewable = float(traces.renewable.sum())
     total_demand = float(traces.demand_total.sum())
@@ -77,7 +78,7 @@ def reshape_demand_variation(traces: TraceSet,
     "power demand variation" axis.  A scale of 1 is the identity.
     """
     if variation_scale < 0:
-        raise ValueError(
+        raise ConfigurationError(
             f"variation scale must be >= 0, got {variation_scale}")
 
     def stretch(series: np.ndarray) -> np.ndarray:
@@ -103,7 +104,7 @@ def expand_system(traces: TraceSet, beta: float) -> TraceSet:
     parameters rather than traces.
     """
     if beta < 1:
-        raise ValueError(f"expansion factor must be >= 1, got {beta}")
+        raise ConfigurationError(f"expansion factor must be >= 1, got {beta}")
     meta = dict(traces.meta)
     meta["expansion_beta"] = beta
     return traces.replace(demand_ds=traces.demand_ds * beta,

@@ -232,7 +232,7 @@ class MidcLikeSolarGenerator:
                  rng: np.random.Generator) -> np.ndarray:
         """Generate the solar energy series ``r(τ)`` in MWh per slot."""
         if n_slots < 1:
-            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+            raise ConfigurationError(f"n_slots must be >= 1, got {n_slots}")
         clear_sky = self.clear_sky_profile(n_slots)
         states = self.cloud_states(n_slots, rng)
         attenuation = np.asarray(self.model.cloud_attenuation)[states]
@@ -259,7 +259,7 @@ class MidcLikeSolarGenerator:
         is therefore invariant to the chunk size.
         """
         if n_slots < 1:
-            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+            raise ConfigurationError(f"n_slots must be >= 1, got {n_slots}")
         clear_sky = self.clear_sky_profile(n_slots, start_slot)
         states = self.cloud_states_chunk(n_slots, cloud_rng, state)
         attenuation = np.asarray(self.model.cloud_attenuation)[states]
@@ -287,7 +287,7 @@ class SolarTraceKernel:
 
     def __init__(self, models: Sequence[SolarModel]):
         if not models:
-            raise ValueError("need at least one solar model")
+            raise ConfigurationError("need at least one solar model")
         self.models = tuple(models)
         self._cdf01 = np.stack([_cloud_cdf_table(m.cloud_persistence)
                                 for m in models])[:, :, :2]
@@ -369,7 +369,7 @@ class SolarTraceKernel:
         arrays are fresh (inputs are not mutated).
         """
         if n_slots < 1:
-            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+            raise ConfigurationError(f"n_slots must be >= 1, got {n_slots}")
         batch = self.batch
         clear_sky = self._clear_sky_block(start_slot, n_slots)
         states, cloud_carry = self._cloud_states_block(

@@ -112,7 +112,7 @@ class WindTraceGenerator:
                  rng: np.random.Generator) -> np.ndarray:
         """Generate the wind energy series in MWh per slot."""
         if n_slots < 1:
-            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+            raise ConfigurationError(f"n_slots must be >= 1, got {n_slots}")
         speeds = self.speed_path(n_slots, rng)
         energy = np.array([self.power_from_speed(s) for s in speeds])
         return energy * self.model.slot_hours

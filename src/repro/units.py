@@ -15,6 +15,7 @@ paper.
 """
 
 from __future__ import annotations
+from repro.exceptions import ConfigurationError
 
 MINUTES_PER_HOUR = 60.0
 HOURS_PER_DAY = 24.0
@@ -35,9 +36,9 @@ def battery_minutes_to_mwh(minutes: float, peak_demand_mw: float) -> float:
     1.0
     """
     if minutes < 0:
-        raise ValueError(f"battery minutes must be >= 0, got {minutes}")
+        raise ConfigurationError(f"battery minutes must be >= 0, got {minutes}")
     if peak_demand_mw < 0:
-        raise ValueError(f"peak demand must be >= 0, got {peak_demand_mw}")
+        raise ConfigurationError(f"peak demand must be >= 0, got {peak_demand_mw}")
     return peak_demand_mw * minutes / MINUTES_PER_HOUR
 
 
@@ -48,23 +49,23 @@ def battery_mwh_to_minutes(mwh: float, peak_demand_mw: float) -> float:
     30.0
     """
     if mwh < 0:
-        raise ValueError(f"battery energy must be >= 0, got {mwh}")
+        raise ConfigurationError(f"battery energy must be >= 0, got {mwh}")
     if peak_demand_mw <= 0:
-        raise ValueError(f"peak demand must be > 0, got {peak_demand_mw}")
+        raise ConfigurationError(f"peak demand must be > 0, got {peak_demand_mw}")
     return mwh / peak_demand_mw * MINUTES_PER_HOUR
 
 
 def mw_to_mwh(mw: float, slot_hours: float = 1.0) -> float:
     """Energy delivered by a constant power draw over one slot."""
     if slot_hours <= 0:
-        raise ValueError(f"slot length must be > 0 hours, got {slot_hours}")
+        raise ConfigurationError(f"slot length must be > 0 hours, got {slot_hours}")
     return mw * slot_hours
 
 
 def mwh_to_mw(mwh: float, slot_hours: float = 1.0) -> float:
     """Average power corresponding to an energy amount over one slot."""
     if slot_hours <= 0:
-        raise ValueError(f"slot length must be > 0 hours, got {slot_hours}")
+        raise ConfigurationError(f"slot length must be > 0 hours, got {slot_hours}")
     return mwh / slot_hours
 
 
@@ -76,7 +77,7 @@ def slots_to_hours(slots: float, slot_hours: float = 1.0) -> float:
 def hours_to_slots(hours: float, slot_hours: float = 1.0) -> float:
     """Convert hours to (possibly fractional) slots."""
     if slot_hours <= 0:
-        raise ValueError(f"slot length must be > 0 hours, got {slot_hours}")
+        raise ConfigurationError(f"slot length must be > 0 hours, got {slot_hours}")
     return hours / slot_hours
 
 

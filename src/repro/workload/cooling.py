@@ -89,7 +89,7 @@ def sample_temperature(model: CoolingModel, n_slots: int,
                        rng: np.random.Generator) -> np.ndarray:
     """Synthesize the outdoor temperature series (°C)."""
     if n_slots < 1:
-        raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        raise ConfigurationError(f"n_slots must be >= 1, got {n_slots}")
     temps = np.empty(n_slots)
     weather = 0.0
     scale = model.weather_sigma_c * math.sqrt(

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from repro.exceptions import InfeasibleActionError
 
 #: Absolute slack for float comparisons between ledger and scalar.
 _TOLERANCE = 1e-9
@@ -123,7 +124,7 @@ class BacklogQueue:
         (``current_slot − arrival_slot``).
         """
         if amount < 0:
-            raise ValueError(f"service must be >= 0, got {amount}")
+            raise InfeasibleActionError(f"service must be >= 0, got {amount}")
         to_serve = min(amount, self._backlog)
         served: list[ServedParcel] = []
         remaining = to_serve
@@ -146,7 +147,7 @@ class BacklogQueue:
     def admit(self, amount: float, arrival_slot: int) -> None:
         """Admit the slot's arrivals ``ddt(τ)`` at the queue tail."""
         if amount < 0:
-            raise ValueError(f"arrival must be >= 0, got {amount}")
+            raise InfeasibleActionError(f"arrival must be >= 0, got {amount}")
         if amount > _TOLERANCE:
             self._parcels.append([arrival_slot, amount])
             self._arrived += amount

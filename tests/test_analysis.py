@@ -13,6 +13,7 @@ from repro.baselines.impatient import ImpatientController
 from repro.config.presets import paper_controller_config
 from repro.core.smartdpss import SmartDPSS
 from repro.sim.engine import run_simulation
+from repro.exceptions import ConfigurationError
 
 
 @pytest.fixture
@@ -110,7 +111,7 @@ class TestTables:
         assert table.splitlines()[0] == "My Table"
 
     def test_format_table_bad_row_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             format_table(["a", "b"], [[1.0]])
 
     def test_format_series(self):
@@ -119,5 +120,5 @@ class TestTables:
         assert line == "costs: 1=3.0 2=4.5"
 
     def test_format_series_length_mismatch(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             format_series("x", [1], [1.0, 2.0])

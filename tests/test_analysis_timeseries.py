@@ -15,6 +15,7 @@ from repro.config.presets import paper_controller_config, paper_system_config
 from repro.core.smartdpss import SmartDPSS
 from repro.sim.engine import run_simulation
 from repro.traces.library import make_paper_traces
+from repro.exceptions import ConfigurationError
 
 
 class TestByHour:
@@ -33,7 +34,7 @@ class TestByHour:
         assert by_hour(values, "max")[0] == 24.0
 
     def test_unknown_reducer_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             by_hour(np.ones(24), "median")
 
 
@@ -47,7 +48,7 @@ class TestByDay:
         assert by_day(values).size == 1
 
     def test_no_full_day_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             by_day(np.ones(10))
 
 

@@ -193,7 +193,7 @@ def test_p5_workspace_rejects_wrong_batch():
         "demand_ds", "charge_cap", "discharge_cap", "eta_c", "eta_d",
         "s_dt_max", "grt_cap", "battery_margin")}
     state = BatchSlotState(**fields)
-    with pytest.raises(ValueError, match="workspace sized"):
+    with pytest.raises(ConfigurationError, match="workspace sized"):
         solve_p5_batch(state, ObjectiveMode.DERIVED,
                        work=P5Workspace(batch=4, n_candidates=17))
 
@@ -282,7 +282,7 @@ def test_substream_rngs_batch_empty():
 
 
 def test_batch_seed_states_validates_shape():
-    with pytest.raises(ValueError, match="1-D"):
+    with pytest.raises(ConfigurationError, match="1-D"):
         batch_seed_states(np.zeros((2, 2), dtype=np.uint64))
 
 

@@ -265,7 +265,7 @@ class TestRunningQuantile:
         assert _RunningQuantile(0.3).value == float("inf")
 
     def test_invalid_quantile_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             _RunningQuantile(0.0)
 
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.battery.lifetime import CycleLedger, per_operation_cost
+from repro.exceptions import ConfigurationError, InfeasibleActionError
 
 
 class TestPerOperationCost:
@@ -10,11 +11,11 @@ class TestPerOperationCost:
         assert per_operation_cost(500.0, 5000) == pytest.approx(0.1)
 
     def test_negative_cost_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             per_operation_cost(-1.0, 100)
 
     def test_zero_cycle_life_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             per_operation_cost(500.0, 0)
 
 
@@ -43,12 +44,12 @@ class TestRecording:
 
     def test_simultaneous_charge_discharge_rejected(self):
         ledger = CycleLedger(op_cost=0.1)
-        with pytest.raises(ValueError):
+        with pytest.raises(InfeasibleActionError):
             ledger.record(0.1, 0.1)
 
     def test_negative_rejected(self):
         ledger = CycleLedger(op_cost=0.1)
-        with pytest.raises(ValueError):
+        with pytest.raises(InfeasibleActionError):
             ledger.record(-0.1, 0.0)
 
 
@@ -76,11 +77,11 @@ class TestBudget:
         assert CycleLedger(op_cost=0.1, budget=0).exhausted
 
     def test_negative_budget_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             CycleLedger(op_cost=0.1, budget=-1)
 
     def test_negative_op_cost_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             CycleLedger(op_cost=-0.1)
 
     def test_reset_clears_counters_keeps_budget(self):

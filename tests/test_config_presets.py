@@ -8,6 +8,7 @@ from repro.config.presets import (
     paper_controller_config,
     paper_system_config,
 )
+from repro.exceptions import ConfigurationError
 
 
 class TestPaperSystem:
@@ -47,7 +48,7 @@ class TestPaperSystem:
             assert system.horizon_slots == 720
 
     def test_indivisible_horizon_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             paper_system_config(days=31, fine_slots_per_coarse=48)
 
     def test_cycle_budget_passthrough(self):

@@ -138,7 +138,7 @@ class TestBuilders:
         assert config.coarse_index(24) == 1
 
     def test_coarse_index_negative_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             SystemConfig().coarse_index(-1)
 
     def test_is_coarse_boundary(self):

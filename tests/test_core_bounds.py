@@ -10,6 +10,7 @@ from repro.core.bounds import (
     compute_bounds,
     scaled_bounds,
 )
+from repro.exceptions import ConfigurationError
 
 
 def big_battery_system() -> SystemConfig:
@@ -129,7 +130,7 @@ class TestValidation:
     def test_invalid_rejected(self, kwargs):
         defaults = dict(v=1.0, epsilon=0.5, price_cap=20.0)
         defaults.update(kwargs)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             compute_bounds(SystemConfig(), **defaults)
 
 
@@ -153,13 +154,13 @@ class TestScaledBounds:
     def test_invalid_beta_rejected(self):
         system = SystemConfig()
         bounds = compute_bounds(system, 1.0, 0.5, 20.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             scaled_bounds(bounds, 0.5, 1.0, 0.0, system, 0.5)
 
     def test_invalid_alpha_rejected(self):
         system = SystemConfig()
         bounds = compute_bounds(system, 1.0, 0.5, 20.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             scaled_bounds(bounds, 2.0, 0.4, 0.0, system, 0.5)
 
 
@@ -217,9 +218,9 @@ class TestArrayCapable:
         systems, _ = self._systems()
         bundle = SystemArrays.stack(systems)
         good = np.ones(3)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             compute_bounds(bundle, np.array([1.0, -1.0, 1.0]), good, good)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             compute_bounds(bundle, good, np.array([0.5, 0.0, 0.5]), good)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             compute_bounds(bundle, good, good, np.array([1.0, 1.0, 0.0]))

@@ -8,6 +8,7 @@ from repro.core.interfaces import (
     FineObservation,
     RealTimeDecision,
 )
+from repro.exceptions import ConfigurationError
 
 
 class TestRealTimeDecision:
@@ -16,12 +17,12 @@ class TestRealTimeDecision:
         assert decision.grt == 0.5
 
     def test_negative_grt_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             RealTimeDecision(grt=-0.1, gamma=0.5)
 
     @pytest.mark.parametrize("gamma", [-0.1, 1.1])
     def test_gamma_out_of_range_rejected(self, gamma):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             RealTimeDecision(grt=0.0, gamma=gamma)
 
     def test_boundary_gammas_allowed(self):

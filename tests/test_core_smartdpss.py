@@ -6,6 +6,7 @@ from repro.config.control import SmartDPSSConfig
 from repro.config.presets import paper_controller_config, paper_system_config
 from repro.core.interfaces import CoarseObservation, FineObservation
 from repro.core.smartdpss import SmartDPSS
+from repro.exceptions import ConfigurationError
 
 
 def coarse_obs(**overrides) -> CoarseObservation:
@@ -186,6 +187,6 @@ class TestRunningMeanState:
     def test_rejects_negative_count(self):
         from repro.core.smartdpss import _RunningMean
 
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             _RunningMean().load_state(
                 {"sum": 0.0, "count": -1, "initial": None})

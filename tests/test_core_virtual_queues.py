@@ -8,6 +8,11 @@ from repro.core.virtual_queues import (
     operational_shift,
     paper_shift,
 )
+from repro.exceptions import (
+    ConfigurationError,
+    InfeasibleActionError,
+    StateError,
+)
 
 
 class TestDelayAwareQueue:
@@ -58,11 +63,11 @@ class TestDelayAwareQueue:
         assert queue.peak == 0.0
 
     def test_invalid_epsilon_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             DelayAwareQueue(epsilon=0.0)
 
     def test_negative_service_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InfeasibleActionError):
             DelayAwareQueue(0.5).update(-0.1, True)
 
 
@@ -82,11 +87,11 @@ class TestBatteryVirtualQueue:
         assert high == pytest.approx(-0.1)
 
     def test_value_before_observe_raises(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(StateError):
             BatteryVirtualQueue(1.0).value
 
     def test_extremes_before_observe_raises(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(StateError):
             BatteryVirtualQueue(1.0).extremes
 
     def test_retarget(self):
@@ -99,7 +104,7 @@ class TestBatteryVirtualQueue:
         queue.observe(1.0)
         queue.reset()
         assert queue.shift == 1.5
-        with pytest.raises(RuntimeError):
+        with pytest.raises(StateError):
             queue.value
 
 
@@ -136,7 +141,7 @@ class TestStateRoundTrip:
 
     def test_delay_queue_rejects_negative_state(self):
         queue = DelayAwareQueue(epsilon=0.5)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             queue.load_state({"value": -1.0, "peak": 0.0})
 
     def test_battery_queue_round_trip(self):
@@ -154,13 +159,13 @@ class TestStateRoundTrip:
         observed = BatteryVirtualQueue(shift=1.0)
         observed.observe(2.0)
         observed.load_state(BatteryVirtualQueue(shift=1.0).state())
-        with pytest.raises(RuntimeError):
+        with pytest.raises(StateError):
             observed.value
-        with pytest.raises(RuntimeError):
+        with pytest.raises(StateError):
             observed.extremes
 
     def test_battery_queue_rejects_partial_observation(self):
         queue = BatteryVirtualQueue(shift=0.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             queue.load_state({"shift": 0.0, "value": 1.0,
                               "min_seen": None, "max_seen": 1.0})

@@ -5,7 +5,7 @@ import pytest
 
 from repro.config.presets import paper_controller_config, paper_system_config
 from repro.core.smartdpss import SmartDPSS
-from repro.exceptions import TraceError
+from repro.exceptions import ConfigurationError, TraceError
 from repro.fleet.engine import StreamingBatchSimulator, StreamRunSpec
 from repro.fleet.runner import FleetRunner
 from repro.fleet.spec import ScenarioSpec, grid_specs
@@ -64,7 +64,7 @@ class TestBatchTraceStream:
 
     def test_read_needs_positive_slots(self):
         cursor = BatchTraceStream(_streams()).open()
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             cursor.read(0)
 
     def test_clip_meta_counts_per_scenario(self):

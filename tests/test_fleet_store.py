@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.fleet.store import ResultStore
+from repro.exceptions import StateError
 
 
 pytestmark = pytest.mark.fleet
@@ -86,7 +87,7 @@ def test_sweep_table_missing_metric_raises(tmp_path):
 
 def test_empty_store_raises(tmp_path):
     store = ResultStore(tmp_path / "s")
-    with pytest.raises(ValueError, match="empty"):
+    with pytest.raises(StateError, match="empty"):
         store.sweep_table()
     assert store.records() == []
 

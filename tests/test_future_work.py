@@ -65,7 +65,7 @@ class TestTemperature:
         assert afternoon > night
 
     def test_invalid_slots_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             sample_temperature(CoolingModel(), 0,
                                np.random.default_rng(0))
 
@@ -152,7 +152,7 @@ class TestPeakAnalysis:
 
     def test_negative_tariff_rejected(self, results):
         _, smart, _ = results
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             demand_charge(smart, dollars_per_mw_month=-1.0)
 
     def test_paper_peak_remark(self, results):

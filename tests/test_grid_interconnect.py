@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.exceptions import InfeasibleActionError
+from repro.exceptions import ConfigurationError, InfeasibleActionError
 from repro.grid.interconnect import GridInterconnect
 
 
@@ -37,11 +37,11 @@ class TestInterconnect:
         assert grid.max_block_purchase(24) == pytest.approx(48.0)
 
     def test_max_block_invalid_t_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             GridInterconnect(2.0).max_block_purchase(0)
 
     def test_negative_pgrid_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             GridInterconnect(-1.0)
 
     def test_zero_pgrid_blocks_everything(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.exceptions import InfeasibleActionError
+from repro.exceptions import ConfigurationError, InfeasibleActionError
 from repro.grid.markets import LongTermMarket, MarketLedger, RealTimeMarket
 
 
@@ -77,11 +77,11 @@ class TestLongTermMarket:
         assert market.ledger.energy == 0.0
 
     def test_invalid_t_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             LongTermMarket(200.0, 0)
 
     def test_invalid_cap_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             LongTermMarket(0.0, 24)
 
 

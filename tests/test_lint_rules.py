@@ -1,0 +1,521 @@
+"""Fixture tests for every repro-lint rule: one firing and one clean
+snippet each, plus the suppression and baseline machinery."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    ALL_RULES,
+    Baseline,
+    RULES_BY_ID,
+    run_lint,
+)
+from repro.lint.baseline import fingerprint
+
+pytestmark = pytest.mark.lint
+
+
+def lint_snippet(tmp_path: Path, source: str,
+                 relpath: str = "repro/mod.py",
+                 rules=None, baseline=None):
+    """Write ``source`` at ``tmp_path/relpath`` and lint it.
+
+    ``relpath`` matters: several rules scope by path fragment
+    (``repro/fleet/``, ``repro/telemetry/``, the kernel modules).
+    """
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_lint([target], rules=rules, baseline=baseline)
+
+
+def rule_ids(report):
+    return [f.rule for f in report.findings]
+
+
+# ----------------------------------------------------------------------
+# R001 rng-discipline
+# ----------------------------------------------------------------------
+
+class TestR001RngDiscipline:
+    RULES = (RULES_BY_ID["R001"],)
+
+    def test_default_rng_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import numpy as np
+            rng = np.random.default_rng(42)
+        """, rules=self.RULES)
+        assert rule_ids(report) == ["R001"]
+
+    def test_stdlib_random_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import random
+            x = random.random()
+        """, rules=self.RULES)
+        assert "R001" in rule_ids(report)
+
+    def test_module_level_draw_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import numpy as np
+            noise = np.random.normal(0.0, 1.0, 8)
+        """, rules=self.RULES)
+        assert rule_ids(report) == ["R001"]
+
+    def test_generator_annotation_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import numpy as np
+
+            def draw(rng: np.random.Generator) -> float:
+                return float(rng.normal())
+        """, rules=self.RULES)
+        assert report.clean
+
+    def test_isinstance_generator_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import numpy as np
+
+            def check(rng):
+                return isinstance(rng, np.random.Generator)
+        """, rules=self.RULES)
+        assert report.clean
+
+    def test_rng_module_is_exempt(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import numpy as np
+            rng = np.random.default_rng(0)
+        """, relpath="repro/rng.py", rules=self.RULES)
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# R002 backend-purity
+# ----------------------------------------------------------------------
+
+class TestR002BackendPurity:
+    RULES = (RULES_BY_ID["R002"],)
+
+    MARKED = """
+        # replint: backend-generic
+        import numpy as np
+        from repro.backend import current_xp
+
+        def kernel(values):
+            xp = current_xp()
+            {body}
+    """
+
+    def test_direct_np_call_fires_in_marked_module(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            self.MARKED.format(body="return np.where(values > 0, 1, 0)"),
+            rules=self.RULES)
+        assert rule_ids(report) == ["R002"]
+        assert "np.where" in report.findings[0].message
+
+    def test_known_kernel_module_is_in_scope_without_marker(
+            self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import numpy as np
+
+            def kernel(values):
+                return np.minimum(values, 0.0)
+        """, relpath="repro/core/p5_vec.py", rules=self.RULES)
+        assert rule_ids(report) == ["R002"]
+
+    def test_xp_compute_and_np_constants_are_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            self.MARKED.format(
+                body="return xp.where(values > np.inf, np.float64(0), "
+                     "values)"),
+            rules=self.RULES)
+        assert report.clean
+
+    def test_annotations_are_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            # replint: backend-generic
+            import numpy as np
+
+            def kernel(values: np.ndarray) -> np.ndarray:
+                return values
+        """, rules=self.RULES)
+        assert report.clean
+
+    def test_unmarked_module_is_out_of_scope(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import numpy as np
+            x = np.zeros(4)
+        """, rules=self.RULES)
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# R003 exception-taxonomy
+# ----------------------------------------------------------------------
+
+class TestR003ExceptionTaxonomy:
+    RULES = (RULES_BY_ID["R003"],)
+
+    @pytest.mark.parametrize("name", ["ValueError", "RuntimeError",
+                                      "Exception"])
+    def test_forbidden_raise_fires(self, tmp_path, name):
+        report = lint_snippet(tmp_path, f"""
+            def check(x):
+                if x < 0:
+                    raise {name}("bad")
+        """, rules=self.RULES)
+        assert rule_ids(report) == ["R003"]
+
+    def test_bare_raise_name_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def check(x):
+                raise ValueError
+        """, rules=self.RULES)
+        assert rule_ids(report) == ["R003"]
+
+    def test_typed_raise_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            from repro.exceptions import ConfigurationError
+
+            def check(x):
+                if x < 0:
+                    raise ConfigurationError(f"bad {x}")
+        """, rules=self.RULES)
+        assert report.clean
+
+    def test_reraise_and_typeerror_are_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def check(x):
+                if not isinstance(x, int):
+                    raise TypeError("x must be an int")
+                try:
+                    return 1 / x
+                except ZeroDivisionError:
+                    raise
+        """, rules=self.RULES)
+        assert report.clean
+
+    def test_unpicklable_exception_init_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            class ShardError(Exception):
+                def __init__(self, message, shard):
+                    super().__init__(message)
+                    self.shard = shard
+        """, rules=self.RULES)
+        assert rule_ids(report) == ["R003"]
+        assert "__reduce__" in report.findings[0].message
+
+    def test_defaulted_extras_are_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            class ShardError(Exception):
+                def __init__(self, message, shard=None):
+                    super().__init__(message)
+                    self.shard = shard
+        """, rules=self.RULES)
+        assert report.clean
+
+    def test_reduce_makes_required_extras_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            class ShardError(Exception):
+                def __init__(self, message, shard):
+                    super().__init__(message)
+                    self.shard = shard
+
+                def __reduce__(self):
+                    return (type(self), (self.args[0], self.shard))
+        """, rules=self.RULES)
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# R004 store-discipline
+# ----------------------------------------------------------------------
+
+class TestR004StoreDiscipline:
+    RULES = (RULES_BY_ID["R004"],)
+
+    def test_append_open_fires_in_fleet(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def log(path, line):
+                with open(path, "a") as handle:
+                    handle.write(line)
+        """, relpath="repro/fleet/sidecar.py", rules=self.RULES)
+        assert rule_ids(report) == ["R004"]
+
+    def test_path_open_append_fires_in_fleet(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def log(path, line):
+                with path.open(mode="ab") as handle:
+                    handle.write(line)
+        """, relpath="repro/fleet/sidecar.py", rules=self.RULES)
+        assert rule_ids(report) == ["R004"]
+
+    def test_json_dump_fires_in_fleet(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import json
+
+            def write(record, handle):
+                json.dump(record, handle)
+        """, relpath="repro/fleet/sidecar.py", rules=self.RULES)
+        assert rule_ids(report) == ["R004"]
+
+    def test_read_open_and_dumps_are_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import json
+
+            def read(path):
+                with open(path, "r") as handle:
+                    return [json.loads(line) for line in handle]
+
+            def serialize(record):
+                return json.dumps(record, sort_keys=True)
+        """, relpath="repro/fleet/sidecar.py", rules=self.RULES)
+        assert report.clean
+
+    def test_out_of_fleet_is_out_of_scope(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def log(path, line):
+                with open(path, "a") as handle:
+                    handle.write(line)
+        """, relpath="repro/analysis/dumper.py", rules=self.RULES)
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# R005 wallclock-hygiene
+# ----------------------------------------------------------------------
+
+class TestR005WallclockHygiene:
+    RULES = (RULES_BY_ID["R005"],)
+
+    @pytest.mark.parametrize("expr", [
+        "time.time()", "time.perf_counter()", "time.monotonic()",
+    ])
+    def test_time_reads_fire(self, tmp_path, expr):
+        report = lint_snippet(tmp_path, f"""
+            import time
+            t0 = {expr}
+        """, rules=self.RULES)
+        assert rule_ids(report) == ["R005"]
+
+    def test_datetime_now_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import datetime
+            stamp = datetime.datetime.now().isoformat()
+        """, rules=self.RULES)
+        assert rule_ids(report) == ["R005"]
+
+    def test_telemetry_package_is_exempt(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import time
+            t0 = time.perf_counter()
+        """, relpath="repro/telemetry/core.py", rules=self.RULES)
+        assert report.clean
+
+    def test_blessed_monotonic_and_sleep_are_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import time
+
+            from repro.telemetry import monotonic
+
+            def timed(fn):
+                t0 = monotonic()
+                fn()
+                time.sleep(0.0)
+                return monotonic() - t0
+        """, rules=self.RULES)
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# R006 telemetry-guard
+# ----------------------------------------------------------------------
+
+class TestR006TelemetryGuard:
+    RULES = (RULES_BY_ID["R006"],)
+
+    def test_fstring_name_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def run(tele, shard):
+                tele.count(f"shard_{shard}")
+        """, rules=self.RULES)
+        assert rule_ids(report) == ["R006"]
+
+    def test_dynamic_name_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def run(tele, name):
+                with tele.span(name):
+                    pass
+        """, rules=self.RULES)
+        assert rule_ids(report) == ["R006"]
+
+    def test_literal_name_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def run(tele, t0):
+                tele.add_time("plan", tele.clock() - t0)
+                tele.count("boundaries")
+        """, rules=self.RULES)
+        assert report.clean
+
+    def test_enabled_guard_allows_dynamic_names(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def run(tele, counters):
+                if tele.enabled:
+                    for name, value in counters.items():
+                        tele.count(name, value)
+        """, rules=self.RULES)
+        assert report.clean
+
+    def test_is_not_none_guard_allows_dynamic_names(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def run(parent_tele, counters):
+                if parent_tele is not None:
+                    for name, value in counters.items():
+                        parent_tele.count(name, value)
+        """, rules=self.RULES)
+        assert report.clean
+
+    def test_non_telemetry_receiver_is_out_of_scope(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def run(collection, name):
+                collection.count(name)
+        """, rules=self.RULES)
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+class TestSuppressions:
+    def test_inline_suppression_with_reason(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def check(x):
+                raise ValueError("x")  # replint: ignore[R003] legacy shim
+        """)
+        assert report.clean
+        assert report.suppressed_count == 1
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def check(x):
+                raise ValueError("x")  # replint: ignore[R001] wrong rule
+        """)
+        assert rule_ids(report) == ["R003"]
+
+    def test_reasonless_suppression_is_a_finding(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def check(x):
+                raise ValueError("x")  # replint: ignore[R003]
+        """)
+        ids = rule_ids(report)
+        assert "R000" in ids  # the naked waiver itself
+        assert "R003" in ids  # and it does not suppress
+
+    def test_syntax_error_is_a_finding(self, tmp_path):
+        report = lint_snippet(tmp_path, "def broken(:\n    pass\n")
+        assert rule_ids(report) == ["R000"]
+        assert "syntax error" in report.findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trip
+# ----------------------------------------------------------------------
+
+class TestBaseline:
+    SOURCE = """
+        def check(x):
+            raise ValueError("legacy")
+    """
+
+    def test_round_trip_filters_known_findings(self, tmp_path):
+        report = lint_snippet(tmp_path, self.SOURCE)
+        assert len(report.findings) == 1
+
+        baseline = Baseline.from_findings(report.findings,
+                                          comment="legacy, PR 9")
+        path = tmp_path / "baseline.txt"
+        baseline.dump(path)
+        reloaded = Baseline.load(path)
+        assert len(reloaded) == 1
+
+        again = lint_snippet(tmp_path, self.SOURCE, baseline=reloaded)
+        assert again.clean
+        assert len(again.baselined) == 1
+
+    def test_edited_line_invalidates_entry(self, tmp_path):
+        report = lint_snippet(tmp_path, self.SOURCE)
+        baseline = Baseline.from_findings(report.findings, comment="x")
+        edited = lint_snippet(
+            tmp_path, self.SOURCE.replace("legacy", "edited"),
+            baseline=baseline)
+        assert not edited.clean
+
+    def test_fingerprint_ignores_line_numbers(self):
+        a = fingerprint("R003", "src/repro/foo.py",
+                        'raise ValueError("x")')
+        b = fingerprint("R003", "elsewhere/foo.py",
+                        '  raise ValueError("x")  ')
+        assert a == b
+
+    def test_unjustified_entry_rejected(self, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        path = tmp_path / "baseline.txt"
+        path.write_text("R003 repro/foo.py 0123456789ab\n")
+        with pytest.raises(ConfigurationError):
+            Baseline.load(path)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+class TestCli:
+    def run_cli(self, *args, cwd=None):
+        env = {"PYTHONPATH": str(Path("src").resolve())}
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint", *args],
+            capture_output=True, text=True, cwd=cwd, env=env)
+
+    def test_clean_file_exits_zero(self, tmp_path):
+        target = tmp_path / "repro" / "ok.py"
+        target.parent.mkdir()
+        target.write_text("X = 1\n")
+        result = self.run_cli(str(target))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "clean" in result.stdout
+
+    def test_findings_exit_one_and_json_shape(self, tmp_path):
+        target = tmp_path / "repro" / "bad.py"
+        target.parent.mkdir()
+        target.write_text('raise ValueError("x")\n')
+        result = self.run_cli(str(target), "--format", "json")
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["clean"] is False
+        assert payload["findings"][0]["rule"] == "R003"
+
+    def test_list_rules_names_all_six(self):
+        result = self.run_cli("--list-rules")
+        assert result.returncode == 0
+        for rule in ALL_RULES:
+            assert rule.id in result.stdout
+
+    def test_write_then_use_baseline(self, tmp_path):
+        target = tmp_path / "repro" / "legacy.py"
+        target.parent.mkdir()
+        target.write_text('raise ValueError("x")\n')
+        baseline = tmp_path / "baseline.txt"
+        wrote = self.run_cli(str(target), "--write-baseline",
+                             str(baseline))
+        assert wrote.returncode == 0
+        gated = self.run_cli(str(target), "--baseline", str(baseline))
+        assert gated.returncode == 0, gated.stdout + gated.stderr

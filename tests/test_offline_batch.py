@@ -206,7 +206,7 @@ class TestErrorPaths:
         system = _system(days=1)
         _, block = _sets_and_block(system, range(2))
         long_system = _system(days=2)
-        with pytest.raises(ValueError, match="slots"):
+        with pytest.raises(ConfigurationError, match="slots"):
             solve_offline_plan_batch(long_system, block)
 
     def test_bad_deadline_rejected(self):

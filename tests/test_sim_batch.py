@@ -22,6 +22,7 @@ from repro.sim.batch import (
 )
 from repro.sim.vecstate import BatchRecorder, VecCycleLedger
 from repro.traces.library import make_paper_traces
+from repro.exceptions import ConfigurationError
 
 
 def _spec(seed=1, days=2, system=None, **config):
@@ -33,7 +34,7 @@ def _spec(seed=1, days=2, system=None, **config):
 
 class TestValidation:
     def test_empty_batch_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             BatchSimulator([])
 
     def test_mixed_timescale_shapes_rejected(self):
@@ -64,7 +65,7 @@ class TestValidation:
     def test_negative_grid_capacity_rejected(self):
         spec = _spec(days=2)
         capacity = np.full(spec.system.horizon_slots, -1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             BatchSimulator([RunSpec(
                 system=spec.system, controller=spec.controller,
                 traces=spec.traces, grid_capacity=capacity)])
@@ -121,7 +122,7 @@ class TestSimulateMany:
         assert simulate_many([], executor="batch") == []
 
     def test_unknown_executor_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             simulate_many([_spec()], executor="threads")
 
     def test_mixed_objective_modes_grouped_not_rejected(self):
@@ -151,7 +152,7 @@ class TestScalarAdapter:
         assert ScalarControllerBatch._budget_left(3.0) == 3
 
     def test_empty_controllers_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             ScalarControllerBatch([])
 
 

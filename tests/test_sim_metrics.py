@@ -10,6 +10,7 @@ from repro.sim.metrics import (
     renewable_utilization,
     summarize_costs,
 )
+from repro.exceptions import ConfigurationError
 
 
 def series(**overrides):
@@ -33,7 +34,7 @@ class TestCostBreakdown:
         assert breakdown.time_average(4) == pytest.approx(4.0)
 
     def test_time_average_zero_slots_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             CostBreakdown(1.0, 0.0, 0.0, 0.0).time_average(0)
 
     def test_as_dict(self):

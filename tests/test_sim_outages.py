@@ -13,6 +13,7 @@ from repro.sim.outages import (
     sample_outages,
 )
 from tests.conftest import constant_traces
+from repro.exceptions import ConfigurationError
 
 
 class TestOutageSchedule:
@@ -31,11 +32,11 @@ class TestOutageSchedule:
         assert schedule.total_outage_slots == 2
 
     def test_invalid_start_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             OutageSchedule(n_slots=5, events=((5, 1),))
 
     def test_invalid_duration_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             OutageSchedule(n_slots=5, events=((0, 0),))
 
     def test_grid_capacity_zero_during_outage(self):
@@ -72,7 +73,7 @@ class TestSampleOutages:
         defaults = dict(n_slots=100, events_per_month=1.0,
                         mean_duration_slots=2.0)
         defaults.update(kwargs)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             sample_outages(defaults.pop("n_slots"),
                            np.random.default_rng(0), **defaults)
 
@@ -132,6 +133,6 @@ class TestEngineUnderOutage:
     def test_negative_capacity_rejected(self):
         system = paper_system_config(days=2)
         traces = constant_traces(48)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             Simulator(system, ImpatientController(), traces,
                       grid_capacity=-np.ones(48))

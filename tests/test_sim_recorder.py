@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.sim.recorder import SERIES_NAMES, Recorder
+from repro.exceptions import ConfigurationError
 
 
 class TestRecorder:
@@ -51,5 +52,5 @@ class TestRecorder:
             Recorder(1).series("nope")
 
     def test_zero_slots_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             Recorder(0)

@@ -6,6 +6,7 @@ from repro.config.presets import paper_controller_config, paper_system_config
 from repro.core.smartdpss import SmartDPSS
 from repro.sim.sweep import DEFAULT_METRICS, Sweep
 from repro.traces.library import make_paper_traces
+from repro.exceptions import ConfigurationError
 
 
 def v_sweep(values=(0.1, 5.0)) -> Sweep:
@@ -60,17 +61,17 @@ class TestSweep:
         assert table.is_monotone("availability", increasing=False)
 
     def test_empty_values_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             v_sweep(()).run(seeds=[1])
 
     def test_empty_seeds_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             v_sweep().run(seeds=[])
 
     def test_bad_build_shape_rejected(self):
         sweep = Sweep(name="bad", values=[1],
                       build=lambda v, s: (1, 2))
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             sweep.run(seeds=[1])
 
     def test_observed_traces_variant(self):

@@ -8,6 +8,7 @@ from repro.solvers.piecewise import (
     minimize_over_candidates,
     piecewise_candidates_1d,
 )
+from repro.exceptions import ConfigurationError
 
 
 class TestMinimizeOverCandidates:
@@ -23,7 +24,7 @@ class TestMinimizeOverCandidates:
         assert point == (5.0,)
 
     def test_empty_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             minimize_over_candidates(lambda x: x, [])
 
     def test_multi_argument(self):
@@ -42,7 +43,7 @@ class TestCandidates1D:
         assert points == [0.0, 0.5, 1.0]
 
     def test_empty_interval_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             piecewise_candidates_1d(1.0, 0.0, [])
 
     def test_exact_on_piecewise_linear(self):
@@ -91,7 +92,7 @@ class TestBoxEdgeCandidates:
         assert (1.0, 1.0) in candidates
 
     def test_empty_box_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             box_edge_candidates((1.0, 0.0), (0.0, 1.0), 1.0, [])
 
     def test_exact_on_2d_piecewise_linear(self):

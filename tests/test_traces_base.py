@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import HorizonMismatchError, TraceError
+from repro.exceptions import (
+    ConfigurationError,
+    HorizonMismatchError,
+    TraceError,
+)
 from repro.traces.base import Trace, TraceSet
 from tests.conftest import constant_traces
 
@@ -100,9 +104,9 @@ class TestTraceSet:
 
     def test_head_invalid_length_rejected(self):
         traces = constant_traces(4)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             traces.head(0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             traces.head(5)
 
     def test_summary_covers_all_series(self):

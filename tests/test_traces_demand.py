@@ -98,7 +98,7 @@ class TestGenerate:
         assert ds.size == dt.size == 48
 
     def test_invalid_slot_count_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             GoogleClusterDemandGenerator().generate(
                 0, make_rng(11, "d"))
 

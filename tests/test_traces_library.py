@@ -6,6 +6,7 @@ import pytest
 from repro.config.presets import paper_system_config
 from repro.traces.library import make_paper_traces
 from repro.traces.wind import WindModel
+from repro.exceptions import ConfigurationError
 
 
 class TestMakePaperTraces:
@@ -70,7 +71,7 @@ class TestMakePaperTraces:
         assert traces.n_slots == 48
 
     def test_invalid_n_slots_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             make_paper_traces(paper_system_config(), n_slots=0)
 
     def test_default_system_when_omitted(self):

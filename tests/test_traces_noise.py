@@ -6,6 +6,7 @@ import pytest
 from repro.rng import make_rng
 from repro.traces.noise import NoisyTraceView, uniform_observation_noise
 from tests.conftest import constant_traces
+from repro.exceptions import ConfigurationError
 
 
 class TestUniformNoise:
@@ -55,9 +56,9 @@ class TestUniformNoise:
 
     def test_invalid_error_rejected(self):
         traces = constant_traces(4)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             uniform_observation_noise(traces, -0.1, make_rng(7, "n"))
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             uniform_observation_noise(traces, 1.0, make_rng(7, "n"))
 
     def test_meta_records_error(self):
@@ -80,6 +81,6 @@ class TestNoisyTraceView:
         assert view.observed is not traces
 
     def test_mismatched_lengths_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             NoisyTraceView(true=constant_traces(4),
                            observed=constant_traces(5))

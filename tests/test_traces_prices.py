@@ -100,5 +100,5 @@ class TestForwardCurve:
         assert np.all(forward <= gen.model.price_cap)
 
     def test_invalid_slot_count_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             NyisoLikePriceGenerator().generate(0, make_rng(10, "p"))

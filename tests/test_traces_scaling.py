@@ -10,6 +10,7 @@ from repro.traces.scaling import (
     reshape_demand_variation,
 )
 from tests.conftest import constant_traces
+from repro.exceptions import ConfigurationError
 
 
 def bursty_traces(n_slots: int = 48):
@@ -44,7 +45,7 @@ class TestClipDemandPeaks:
         assert clipped.meta["peak_clip_slots"] >= 0
 
     def test_zero_pgrid_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             clip_demand_peaks(bursty_traces(), p_grid=0.0)
 
 
@@ -70,7 +71,7 @@ class TestRenewablePenetration:
         assert np.all(scaled.renewable == 0.0)
 
     def test_negative_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             rescale_renewable_penetration(constant_traces(4), -0.1)
 
 
@@ -105,7 +106,7 @@ class TestDemandVariation:
         assert np.all(stretched.demand_dt >= 0.0)
 
     def test_negative_scale_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             reshape_demand_variation(bursty_traces(), -1.0)
 
 
@@ -124,7 +125,7 @@ class TestExpandSystem:
         assert np.allclose(expanded.price_rt, 50.0)
 
     def test_beta_below_one_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             expand_system(constant_traces(4), 0.5)
 
     def test_meta_records_beta(self):

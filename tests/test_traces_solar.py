@@ -109,5 +109,5 @@ class TestGeneration:
         assert np.all(series == 0.0)
 
     def test_invalid_slot_count_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             MidcLikeSolarGenerator().generate(0, make_rng(9, "solar"))

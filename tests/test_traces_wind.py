@@ -80,5 +80,5 @@ class TestWindGeneration:
         assert speeds.mean() == pytest.approx(7.5, rel=0.25)
 
     def test_invalid_slot_count_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             WindTraceGenerator().generate(0, make_rng(6, "w"))

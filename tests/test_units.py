@@ -3,6 +3,7 @@
 import pytest
 
 from repro import units
+from repro.exceptions import ConfigurationError
 
 
 class TestBatteryConversions:
@@ -19,15 +20,15 @@ class TestBatteryConversions:
         assert minutes == pytest.approx(37.5)
 
     def test_negative_minutes_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             units.battery_minutes_to_mwh(-1.0, 2.0)
 
     def test_negative_peak_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             units.battery_minutes_to_mwh(10.0, -2.0)
 
     def test_mwh_to_minutes_zero_peak_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             units.battery_mwh_to_minutes(1.0, 0.0)
 
 
@@ -43,7 +44,7 @@ class TestPowerEnergy:
             pytest.approx(1.7)
 
     def test_zero_slot_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             units.mw_to_mwh(1.0, slot_hours=0.0)
 
 
@@ -58,7 +59,7 @@ class TestTimeConversions:
         assert units.hours_to_slots(6.0, slot_hours=0.5) == 12.0
 
     def test_hours_to_slots_zero_slot_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             units.hours_to_slots(1.0, slot_hours=0.0)
 
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.workload.queue import BacklogQueue, DelayStats, ServedParcel
+from repro.exceptions import InfeasibleActionError
 
 
 class TestEquationTwoSemantics:
@@ -32,9 +33,9 @@ class TestEquationTwoSemantics:
 
     def test_negative_inputs_rejected(self):
         queue = BacklogQueue()
-        with pytest.raises(ValueError):
+        with pytest.raises(InfeasibleActionError):
             queue.serve(-0.1, 0)
-        with pytest.raises(ValueError):
+        with pytest.raises(InfeasibleActionError):
             queue.admit(-0.1, 0)
 
 
