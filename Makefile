@@ -4,9 +4,9 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-fast test-equivalence test-backend test-telemetry \
-	test-faults test-lint lint typecheck bench-smoke bench-batch \
-	bench-fleet bench-traces bench-plan bench-backend bench-offline \
-	bench-telemetry bench-faults benchmarks
+	test-faults test-lint test-noise lint typecheck bench-smoke \
+	bench-batch bench-fleet bench-traces bench-plan bench-backend \
+	bench-offline bench-telemetry bench-faults bench-noise benchmarks
 
 # Tier-1 verify: the full suite, fail-fast.
 test:
@@ -42,6 +42,12 @@ test-faults:
 # `lint` marker; `make test` runs these as part of tier-1).
 test-lint:
 	$(PY) -m pytest -q -m lint
+
+# Observation layer only: streamed noise/sensor-fault models, chunk
+# invariance, streamed == in-memory equivalence and robustness sweeps
+# (the `noise` marker; `make test` runs these as part of tier-1).
+test-noise:
+	$(PY) -m pytest -q -m noise
 
 # The repo's own AST linter over the library source.  Exit 0 means
 # every invariant in src/repro/lint/README.md holds (modulo inline
@@ -107,6 +113,13 @@ bench-telemetry:
 # BENCH_faults.json.
 bench-faults:
 	$(PY) benchmarks/bench_faults.py
+
+# Observation-layer overhead: noise-off vs armed-but-quiet uniform
+# model (rel_error=0) on the streamed sweep, paired per shard, gated
+# on bit-identical noise-off records and <= 2% CPU overhead; writes
+# BENCH_noise.json.
+bench-noise:
+	$(PY) benchmarks/bench_noise.py
 
 # Figure-regeneration benchmarks (pytest-benchmark suite).
 benchmarks:

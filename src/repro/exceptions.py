@@ -106,6 +106,30 @@ class TraceCorruptionError(TraceError):
                              self.seed))
 
 
+class ObservationCorruptionError(TraceCorruptionError):
+    """A NaN/Inf value was detected in an *observed* trace series.
+
+    The observation layer derives what controllers see from the true
+    traces (noise models, sensor faults); corruption there must not be
+    confused with corruption of the physics inputs, so this subclass
+    names the view (``"observed"``) and the offending series.  It
+    inherits the scenario/slot/seed fields — and therefore the fleet
+    runner's direct-quarantine short circuit — from
+    :class:`TraceCorruptionError`.
+    """
+
+    def __init__(self, message: str, scenario: int | None = None,
+                 slot: int | None = None, seed: int | None = None,
+                 series: str | None = None, view: str = "observed"):
+        super().__init__(message, scenario=scenario, slot=slot, seed=seed)
+        self.series = series
+        self.view = view
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.scenario, self.slot,
+                             self.seed, self.series, self.view))
+
+
 class FaultInjectionError(ReproError):
     """An error raised on purpose by the fault-injection harness.
 

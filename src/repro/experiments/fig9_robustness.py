@@ -10,6 +10,19 @@ robustness claim in practice.
 Here the cost-reduction is measured against the Impatient baseline (the
 paper's reference online policy), and the difference is
 ``reduction_with_noise − reduction_without``.
+
+Two routes produce the figure:
+
+* :func:`run_fig9` — the in-memory route: one shared noisy
+  :class:`~repro.traces.base.TraceSet` via
+  :func:`~repro.traces.noise.uniform_observation_noise`, all runs
+  through the batched executors.
+* :func:`run_fig9_fleet` — the fleet route: declarative
+  :class:`~repro.fleet.spec.ScenarioSpec` rows through
+  :class:`~repro.fleet.runner.FleetRunner` with
+  ``robustness={"kind": "uniform", ...}``, so the noisy twin streams
+  its observations chunk-by-chunk.  Both reproduce the paper's small
+  difference band; the fleet route is pinned by the golden table.
 """
 
 from __future__ import annotations
@@ -91,6 +104,60 @@ def run_fig9(seed: int = DEFAULT_SEED,
             noisy_reduction=cost_reduction(noisy, impatient),
         ))
     return Fig9Result(rows=tuple(rows), rel_error=rel_error)
+
+
+def run_fig9_fleet(seed: int = DEFAULT_SEED,
+                   rel_error: float = 0.5,
+                   v_values: tuple[float, ...] = PAPER_V_SWEEP,
+                   days: int = 31,
+                   fine_slots_per_coarse: int = 24,
+                   **runner_kwargs) -> Fig9Result:
+    """Run the noise-robustness sweep through the fleet path.
+
+    One Impatient baseline plus one SmartDPSS scenario per ``V``, all
+    on the same trace seed, executed by
+    :class:`~repro.fleet.runner.FleetRunner` with the paired
+    clean-vs-noisy robustness sweep armed — the noisy arm streams
+    uniformly perturbed observations to every controller (baseline
+    included), so reductions compare like against like.
+    """
+    from repro.fleet.runner import FleetRunner
+    from repro.fleet.spec import ScenarioSpec
+
+    system = {"preset": "paper", "days": days,
+              "fine_slots_per_coarse": fine_slots_per_coarse}
+    specs = [ScenarioSpec(name="fig9-impatient", value=0.0, seed=seed,
+                          system=system,
+                          controller={"kind": "impatient"},
+                          trace={"kind": "stream"})]
+    for v in v_values:
+        specs.append(ScenarioSpec(
+            name="fig9-smartdpss", value=float(v), seed=seed,
+            system=system,
+            controller={"kind": "smartdpss", "v": float(v)},
+            trace={"kind": "stream"}))
+    runner = FleetRunner(
+        specs,
+        robustness={"kind": "uniform", "rel_error": float(rel_error)},
+        **runner_kwargs)
+    records = runner.run()
+
+    imp = records[0]["metrics"]
+    imp_clean = float(imp["time_avg_cost"])
+    imp_noisy = float(imp["noisy_cost"])
+    rows = []
+    for record, v in zip(records[1:], v_values):
+        metrics = record["metrics"]
+        clean = float(metrics["time_avg_cost"])
+        noisy = float(metrics["noisy_cost"])
+        rows.append(Fig9Row(
+            v=float(v),
+            clean_cost=clean,
+            noisy_cost=noisy,
+            clean_reduction=(imp_clean - clean) / imp_clean,
+            noisy_reduction=(imp_noisy - noisy) / imp_noisy,
+        ))
+    return Fig9Result(rows=tuple(rows), rel_error=float(rel_error))
 
 
 def render(result: Fig9Result) -> str:

@@ -17,7 +17,9 @@ sweeps.  This package supplies the missing layers:
   ``simulate_many(..., executor="process")``);
 * :mod:`repro.fleet.store` — append-only :class:`ResultStore` with
   seed-replicated aggregation back into
-  :class:`~repro.sim.sweep.SweepTable`.
+  :class:`~repro.sim.sweep.SweepTable`;
+* :mod:`repro.fleet.observe` — streamed observation models (sensor
+  noise and faults) derived per chunk on top of the true traces.
 
 Command line::
 
@@ -75,6 +77,40 @@ exercised deterministically by the chaos suite
 ``FleetRunner(fault_plan=...)`` or the ``REPRO_FAULT_PLAN``
 environment variable, and *disarmed entirely* in production runs.
 
+Observation models
+------------------
+Controllers at fleet scale see *observed* traces — the true series
+passed through a declarative observation model — while physics and
+billing always run on the truth.  The models (registered in
+:data:`~repro.fleet.observe.OBSERVATION_KINDS`):
+
+* ``uniform`` — multiplicative uniform relative error
+  (``rel_error``), the paper's Fig. 9 noise;
+* ``dropout`` — each slot lost independently (``rate``); the sensor
+  holds its last good sample, so controllers degrade gracefully
+  instead of seeing gaps;
+* ``stuck`` — the sensor latches its previous reading for
+  ``duration`` slots with probability ``rate`` per slot;
+* ``bias_drift`` — a Gaussian random-walk multiplicative bias
+  (``sigma`` per slot);
+* ``delay`` — readings arrive ``slots`` slots late (the horizon's
+  first value back-fills the initial gap).
+
+Arm them per scenario via the serializable ``ScenarioSpec.observation``
+axis (hashed into ``spec_hash``), or fleet-wide as a paired
+clean-vs-noisy sweep via ``FleetRunner(robustness=...)`` (CLI
+``--robustness REL``), which adds ``noisy_cost``/``robustness_gap``
+columns to every record.  Noise draws come from dedicated
+``observe:<series>`` substreams of the observation seed with explicit
+per-chunk carry state, so streamed observations are bit-identical to
+the in-memory :class:`~repro.traces.noise.NoisyTraceView` reference
+for every chunk size — and with no observation model armed, records
+are bit-identical to a build without this layer.  Non-finite observed
+values raise a typed
+:class:`~repro.exceptions.ObservationCorruptionError` (naming the
+series and the ``observed`` view) that quarantines like any trace
+corruption.
+
 The streamed path is gated by ``tests/equivalence/``: for identical
 specs it is bit-identical to the in-memory batch engine (which is
 itself bit-identical to the scalar reference engine).
@@ -87,6 +123,19 @@ from repro.fleet.engine import (
     simulate_stream,
 )
 from repro.fleet.faults import Fault, FaultPlan
+from repro.fleet.observe import (
+    OBSERVATION_KINDS,
+    BatchObserver,
+    BiasDrift,
+    DelayedReport,
+    ObservationModel,
+    ObservationSpec,
+    ScenarioObserver,
+    SensorDropout,
+    StuckSensor,
+    UniformNoise,
+    observation_from_mapping,
+)
 from repro.fleet.runner import (
     FleetRunner,
     ShardOutcome,
@@ -108,19 +157,30 @@ from repro.fleet.stream import (
 
 __all__ = [
     "ArrayTraceStream",
+    "BatchObserver",
     "BatchTraceStream",
+    "BiasDrift",
+    "DelayedReport",
     "Fault",
     "FaultPlan",
     "FleetRunner",
+    "OBSERVATION_KINDS",
+    "ObservationModel",
+    "ObservationSpec",
     "ResultStore",
     "ScenarioMetrics",
+    "ScenarioObserver",
     "ScenarioSpec",
+    "SensorDropout",
     "ShardOutcome",
     "StreamRunSpec",
     "StreamingBatchSimulator",
     "StreamingPaperTraces",
+    "StuckSensor",
     "TraceStream",
+    "UniformNoise",
     "grid_specs",
+    "observation_from_mapping",
     "product_specs",
     "sample_specs",
     "simulate_many_process",

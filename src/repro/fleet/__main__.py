@@ -18,6 +18,12 @@ dicts)::
 
     python -m repro.fleet run --spec-file fleet.json --out out/custom
 
+Pair every scenario with a noisy-observation twin (20 % uniform
+sensor error) and record the robustness gap::
+
+    python -m repro.fleet run --demo v-sweep --out out/fleet \\
+        --robustness 0.2
+
 Aggregate whatever a store holds into a seed-averaged table::
 
     python -m repro.fleet report --out out/fleet
@@ -142,6 +148,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                          max_workers=args.workers, store=store,
                          resume=not args.no_resume,
                          offline_gap=args.offline_gap,
+                         robustness=args.robustness,
                          telemetry=args.telemetry,
                          max_retries=args.max_retries,
                          shard_timeout=args.shard_timeout,
@@ -206,11 +213,14 @@ def cmd_report(args: argparse.Namespace) -> int:
         metrics = tuple(args.metrics.split(","))
     else:
         metrics = DEFAULT_TABLE_METRICS
-        # Offline-gap columns are optional per run; show them whenever
-        # every stored record carries them.
+        # Offline-gap and robustness columns are optional per run; show
+        # them whenever every stored record carries them.
         present = store.metric_columns()
-        metrics += tuple(name for name in ("offline_cost", "offline_gap")
-                         if name in present)
+        metrics += tuple(
+            name for name in ("offline_cost", "offline_gap",
+                              "noisy_cost", "robustness_gap",
+                              "observation_rel_error")
+            if name in present)
     table = store.sweep_table(name=f"fleet report ({store.root})",
                               metrics=metrics)
     print(table.render())
@@ -313,6 +323,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="solve the clairvoyant offline baseline per "
                           "scenario (batched LP) and record "
                           "offline_cost/offline_gap columns")
+    run.add_argument("--robustness", type=float, default=None,
+                     metavar="REL",
+                     help="re-run every scenario under uniform "
+                          "observation noise of this relative error "
+                          "and record noisy_cost/robustness_gap "
+                          "columns (paired clean-vs-noisy sweep)")
     run.add_argument("--no-resume", action="store_true",
                      help="re-execute scenarios whose spec hash is "
                           "already stored (default: skip them and "

@@ -49,9 +49,11 @@ from repro.exceptions import (
     ConfigurationError,
     HorizonMismatchError,
     InfeasibleActionError,
+    ObservationCorruptionError,
     StateError,
     TraceCorruptionError,
 )
+from repro.fleet.observe import BatchObserver, ObservationSpec
 from repro.fleet.stream import BatchTraceStream, TraceStream
 from repro.sim.batch import BatchController, BatchSimulator, _RunState
 from repro.sim.results import SimulationResult
@@ -72,14 +74,19 @@ class StreamRunSpec:
     streaming engine: traces come as a replayable
     :class:`~repro.fleet.stream.TraceStream` instead of resident
     arrays.  ``grid_capacity`` may still be a full per-slot array (it
-    is sliced per chunk); observation-noise streams are not supported —
-    controllers observe the true streamed traces.
+    is sliced per chunk).  ``observation`` is an optional
+    :class:`~repro.fleet.observe.ObservationSpec`: when set, the
+    controller observes a derived noisy stream (perturbed chunk by
+    chunk with dedicated substreams and carry state) while physics and
+    billing stay on the truth; when ``None`` the controller observes
+    the true streamed traces.
     """
 
     system: SystemConfig
     controller: Controller
     stream: TraceStream
     grid_capacity: object = None
+    observation: ObservationSpec | None = None
 
 
 class StreamingAggregator:
@@ -273,12 +280,27 @@ class ScenarioMetrics:
     #: shape.
     offline_cost: float | None = None
     offline_gap: float | None = None
+    #: Cost of the same scenario re-run under the robustness
+    #: observation model, and the relative degradation against the
+    #: clean cost (``None`` unless the fleet run asked for the paired
+    #: robustness sweep).
+    noisy_cost: float | None = None
+    robustness_gap: float | None = None
+    #: The observation model's relative error when this record itself
+    #: ran under uniform observation noise (``None`` when noise-free
+    #: or under a non-uniform sensor-fault model).
+    observation_rel_error: float | None = None
+
+    #: Optional columns omitted from :meth:`as_dict` when unset, so
+    #: existing records keep their shape.
+    _OPTIONAL = ("offline_cost", "offline_gap", "noisy_cost",
+                 "robustness_gap", "observation_rel_error")
 
     def as_dict(self) -> dict:
         """JSON-ready form (what the result store persists)."""
         out = {}
         for name, value in self.__dict__.items():
-            if name in ("offline_cost", "offline_gap") and value is None:
+            if name in self._OPTIONAL and value is None:
                 continue
             if isinstance(value, (np.floating, np.integer)):
                 value = value.item()
@@ -352,9 +374,24 @@ class StreamingBatchSimulator(BatchSimulator):
             raise ConfigurationError(
                 f"chunk_coarse must be >= 1, got {chunk_coarse}")
         #: Optional :class:`~repro.fleet.faults.ShardFaults` — chaos
-        #: hooks at the ``traces``/``plan``/``slot_loop`` sites.  None
-        #: (the default) costs one identity check per chunk.
+        #: hooks at the ``traces``/``observe``/``plan``/``slot_loop``
+        #: sites.  None (the default) costs one identity check per
+        #: chunk.
         self._faults = faults
+        self._observations: list[ObservationSpec | None] = []
+        for run in self.runs:
+            observation = getattr(run, "observation", None)
+            if observation is not None and not isinstance(
+                    observation, ObservationSpec):
+                raise ConfigurationError(
+                    f"observation must be an ObservationSpec or None, "
+                    f"got {type(observation).__name__}")
+            self._observations.append(observation)
+        #: Chunked observation cursor (rebuilt per run() so carry state
+        #: restarts at the horizon); ``None`` with observation off, so
+        #: the observed view aliases the truth at zero cost.
+        self._observer: BatchObserver | None = None
+        self._obs_tail: dict[str, np.ndarray] | None = None
         for run in self.runs:
             if run.stream.n_slots < self._n_slots:
                 raise HorizonMismatchError(
@@ -383,18 +420,24 @@ class StreamingBatchSimulator(BatchSimulator):
 
     def _install_chunk(self, columns: dict[str, np.ndarray],
                        price_lt: np.ndarray, start: int, stop: int,
-                       tail: dict[str, np.ndarray] | None
+                       tail: dict[str, np.ndarray] | None,
+                       price_lt_fine: np.ndarray | None = None
                        ) -> dict[str, np.ndarray]:
         """Point the engine at stacked ``(B, chunk)`` trace columns.
 
         ``columns`` holds the four fine-grained series for
         ``[start, stop)``; ``price_lt`` the coarse prices of the
-        chunk's coarse slots.  Prepends the ``T``-slot planning tail,
-        updates the window offsets, rebuilds the capacity rows, and
-        returns the next tail.  Observed == true for streamed runs, so
-        both views alias one set of arrays.
+        chunk's coarse slots; ``price_lt_fine`` the fine hourly prices
+        behind them (loaded only when an observer is active).
+        Prepends the ``T``-slot planning tail, updates the window
+        offsets, rebuilds the capacity rows, and returns the next
+        tail.  With observation off both views alias one set of
+        arrays; with an observer the observed view is derived from the
+        raw chunk (its own carry tail threads through
+        ``self._obs_tail``) while physics stays on the truth.
         """
         t_slots = self._t_slots
+        raw = columns
         if tail is not None:
             columns = {name: np.concatenate([tail[name], block], axis=1)
                        for name, block in columns.items()}
@@ -408,15 +451,47 @@ class StreamingBatchSimulator(BatchSimulator):
         self._true_ddt = columns["demand_dt"]
         self._true_ren = columns["renewable"]
         self._true_prt = columns["price_rt"]
-        self._obs_dds = self._true_dds
-        self._obs_ddt = self._true_ddt
-        self._obs_ren = self._true_ren
-        self._obs_prt = self._true_prt
-
         self._true_plt = price_lt
-        self._obs_plt = self._true_plt
         self._coarse0 = start // t_slots
         self._slot0 = start if tail is None else start - t_slots
+
+        observer = self._observer
+        if observer is None:
+            self._obs_dds = self._true_dds
+            self._obs_ddt = self._true_ddt
+            self._obs_ren = self._true_ren
+            self._obs_prt = self._true_prt
+            self._obs_plt = self._true_plt
+        else:
+            tele = self._telemetry
+            t0 = tele.clock() if tele.enabled else 0.0
+            observed = {name: observer.observe_matrix(name, raw[name])
+                        for name in ("demand_ds", "demand_dt",
+                                     "renewable", "price_rt")}
+            obs_tail = self._obs_tail
+            self._obs_tail = {name: block[:, -t_slots:]
+                              for name, block in observed.items()}
+            if obs_tail is not None:
+                observed = {
+                    name: np.concatenate([obs_tail[name], block], axis=1)
+                    for name, block in observed.items()}
+            self._obs_dds = observed["demand_ds"]
+            self._obs_ddt = observed["demand_dt"]
+            self._obs_ren = observed["renewable"]
+            self._obs_prt = observed["price_rt"]
+            obs_plt_fine = observer.observe_matrix("price_lt",
+                                                   price_lt_fine)
+            if obs_plt_fine is price_lt_fine:
+                self._obs_plt = self._true_plt
+            else:
+                # Same reshape-mean the true coarse prices come from,
+                # applied to the perturbed fine series — matching the
+                # in-memory reference's TraceSet.coarse_prices bit for
+                # bit.
+                self._obs_plt = obs_plt_fine.reshape(
+                    self._batch, -1, t_slots).mean(axis=2)
+            if tele.enabled:
+                tele.add_time("observe", tele.clock() - t0)
 
         rows = []
         for index, run in enumerate(self.runs):
@@ -431,6 +506,8 @@ class StreamingBatchSimulator(BatchSimulator):
         if self._faults is not None:
             self._faults.fire("traces", slot=start)
             self._corrupt_chunk(start, stop)
+            self._faults.fire("observe", slot=start)
+            self._corrupt_observed(start, stop)
         self._check_chunk_finite(start, stop)
         self._check_chunk_prices(start)
         return {
@@ -452,7 +529,13 @@ class StreamingBatchSimulator(BatchSimulator):
                          "price_rt")}
         price_lt = np.stack(
             [w.coarse_prices(self._t_slots) for w in windows])
-        return self._install_chunk(columns, price_lt, start, stop, tail)
+        price_lt_fine = None
+        if self._observer is not None:
+            price_lt_fine = np.stack(
+                [np.asarray(w.price_lt_hourly, dtype=float)
+                 for w in windows])
+        return self._install_chunk(columns, price_lt, start, stop, tail,
+                                   price_lt_fine=price_lt_fine)
 
     def _load_chunk_batch(self, start: int, stop: int, cursor,
                           tail: dict[str, np.ndarray] | None
@@ -466,7 +549,10 @@ class StreamingBatchSimulator(BatchSimulator):
             "price_rt": block.price_rt,
         }
         price_lt = block.coarse_prices(self._t_slots)
-        return self._install_chunk(columns, price_lt, start, stop, tail)
+        price_lt_fine = (block.price_lt_hourly
+                         if self._observer is not None else None)
+        return self._install_chunk(columns, price_lt, start, stop, tail,
+                                   price_lt_fine=price_lt_fine)
 
     #: Fine-grained series attributes the corruption / finiteness
     #: passes walk (true view; the observed view aliases it).
@@ -478,17 +564,42 @@ class StreamingBatchSimulator(BatchSimulator):
 
         Chunk columns may alias frozen :class:`TraceBlock` arrays, so
         a targeted series is copied before poisoning (and the observed
-        alias re-pointed); healthy series keep their zero-copy path.
+        alias re-pointed — only when it *was* an alias; a derived
+        observed view must not be clobbered).  Healthy series keep
+        their zero-copy path.
         """
         local0 = start - self._slot0
         for scenario, series, slot in self._faults.nan_targets(start,
                                                                stop):
             attr = dict(self._SERIES_ATTRS)[series]
+            obs_attr = attr.replace("_true_", "_obs_")
             block = getattr(self, attr)
             if not block.flags.writeable:
+                copy = block.copy()
+                setattr(self, attr, copy)
+                if getattr(self, obs_attr) is block:
+                    setattr(self, obs_attr, copy)
+                block = copy
+            block[scenario, local0 + (slot - start)] = np.nan
+
+    def _corrupt_observed(self, start: int, stop: int) -> None:
+        """Apply ``nan`` faults at the ``observe`` site.
+
+        Poisons the *observed* view only: when the observed series
+        still aliases the truth (or is frozen) it is detached with a
+        copy first, so physics keeps running on clean trace data and
+        the finiteness scan attributes the corruption to the observed
+        view.
+        """
+        local0 = start - self._slot0
+        for scenario, series, slot in self._faults.nan_targets(
+                start, stop, site="observe"):
+            attr = dict(self._SERIES_ATTRS)[series]
+            obs_attr = attr.replace("_true_", "_obs_")
+            block = getattr(self, obs_attr)
+            if block is getattr(self, attr) or not block.flags.writeable:
                 block = block.copy()
-                setattr(self, attr, block)
-                setattr(self, attr.replace("_true_", "_obs_"), block)
+                setattr(self, obs_attr, block)
             block[scenario, local0 + (slot - start)] = np.nan
 
     def _check_chunk_finite(self, start: int, stop: int) -> None:
@@ -501,6 +612,14 @@ class StreamingBatchSimulator(BatchSimulator):
         :class:`TraceCorruptionError` naming the scenario position,
         seed and absolute slot — precise enough for the fleet runner
         to quarantine exactly that scenario without bisection.
+
+        Observed series that no longer alias the truth (an active
+        observation model, or an ``observe``-site fault) are scanned
+        too; corruption there raises the
+        :class:`ObservationCorruptionError` subclass naming the view
+        and series, so a bad sensor model is never mistaken for bad
+        trace generation.  The alias check keeps the noise-off path at
+        four ``is`` comparisons.
         """
         local = start - self._slot0
         for name, attr in self._SERIES_ATTRS:
@@ -515,6 +634,27 @@ class StreamingBatchSimulator(BatchSimulator):
                 f"non-finite value in trace series {name!r} at slot "
                 f"{slot} (scenario position {scenario}, seed {seed})",
                 scenario=scenario, slot=slot, seed=seed)
+        observed_blocks = [
+            (name, getattr(self, attr.replace("_true_", "_obs_")),
+             getattr(self, attr), local)
+            for name, attr in self._SERIES_ATTRS]
+        observed_blocks.append(
+            ("price_lt", self._obs_plt, self._true_plt, 0))
+        for name, observed, true, offset0 in observed_blocks:
+            if observed is true:
+                continue
+            window = observed[:, offset0:]
+            finite = np.isfinite(window)
+            if finite.all():
+                continue
+            scenario, offset = np.argwhere(~finite)[0]
+            scenario, slot = int(scenario), start + int(offset)
+            seed = self._seeds[scenario]
+            raise ObservationCorruptionError(
+                f"non-finite value in observed trace series {name!r} "
+                f"at slot {slot} (scenario position {scenario}, seed "
+                f"{seed})", scenario=scenario, slot=slot, seed=seed,
+                series=name, view="observed")
 
     def _check_chunk_prices(self, start: int) -> None:
         """Chunkwise twin of ``BatchSimulator._check_prices``.
@@ -555,8 +695,9 @@ class StreamingBatchSimulator(BatchSimulator):
     def run(self) -> list[ScenarioMetrics]:
         """Stream every scenario over the horizon, chunk by chunk.
 
-        Stage timings (chunk generation, the slot loop, delay replay,
-        metric collection) are guarded on ``tele.enabled``; the
+        Stage timings (chunk generation, observation derivation, the
+        slot loop, delay replay, metric collection) are guarded on
+        ``tele.enabled``; the
         instrumentation reads clocks only, so streamed metrics are
         bit-identical with telemetry on or off.
         """
@@ -564,6 +705,14 @@ class StreamingBatchSimulator(BatchSimulator):
         faults = self._faults
         fire_slots = faults is not None and (
             faults.active("slot_loop") or faults.active("plan"))
+        # Fresh observation cursors per run: carry state (dropout
+        # holds, drift walks, delay buffers) restarts at the horizon,
+        # so replaying the simulator is deterministic.
+        if any(spec is not None for spec in self._observations):
+            self._observer = BatchObserver(self._observations)
+        else:
+            self._observer = None
+        self._obs_tail = None
         state = self._begin_run()
         if self._batch_source is not None:
             batch_cursor = self._batch_source.open()

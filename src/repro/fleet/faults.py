@@ -12,6 +12,11 @@ site                    where it fires
 ======================  ================================================
 ``traces``              chunk loading in the streamed engine (or trace
                         materialization on the in-memory shard path)
+``observe``             the observation layer deriving what controllers
+                        see from each loaded chunk (``nan`` poisons the
+                        *observed* view only, so the engine's scan must
+                        raise the typed observation error while physics
+                        stays on clean truth)
 ``plan``                the coarse-boundary planning step of the slot
                         loop (streamed engine), or just before the
                         in-memory engine runs
@@ -90,7 +95,8 @@ __all__ = [
 ]
 
 #: Named sites a fault may target.
-FAULT_SITES = ("traces", "plan", "slot_loop", "lp_solve", "store_append")
+FAULT_SITES = ("traces", "observe", "plan", "slot_loop", "lp_solve",
+               "store_append")
 
 #: What a firing fault does.
 FAULT_ACTIONS = ("raise", "kill", "hang", "nan", "torn")
@@ -360,23 +366,24 @@ class ShardFaults:
                     f"{name!r}, seed {seed}, attempt "
                     f"{self.attempts[index]})", site=site, scenario=name)
 
-    def nan_targets(self, start: int, stop: int
+    def nan_targets(self, start: int, stop: int, site: str = "traces"
                     ) -> list[tuple[int, str, int]]:
         """Corruption targets for the chunk ``[start, stop)``.
 
         Returns ``(scenario position, series, absolute slot)`` triples
-        for every matching ``nan`` fault whose slot lands in the
-        chunk (``slot=None`` → the chunk's first slot when the chunk
-        is the horizon's first).
+        for every matching ``nan`` fault at ``site`` (``traces``
+        poisons the true view, ``observe`` the observed view) whose
+        slot lands in the chunk (``slot=None`` → the chunk's first
+        slot when the chunk is the horizon's first).
         """
         targets = []
         for fault in self.plan.faults:
-            if fault.action != "nan":
+            if fault.action != "nan" or fault.site != site:
                 continue
             slot = fault.slot if fault.slot is not None else 0
             if not start <= slot < stop:
                 continue
-            for index in self._matches(fault, "traces", None):
+            for index in self._matches(fault, site, None):
                 targets.append((index, fault.series, slot))
         return targets
 

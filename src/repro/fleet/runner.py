@@ -54,6 +54,7 @@ from repro.fleet.engine import (
     StreamRunSpec,
 )
 from repro.fleet.faults import FaultPlan
+from repro.fleet.observe import observation_from_mapping
 from repro.fleet.spec import ScenarioSpec
 from repro.fleet.stream import ArrayTraceStream
 from repro.sim.batch import RunSpec, run_group_batch
@@ -260,6 +261,71 @@ def _attach_offline_gap(systems: "list", traces_list: "list[TraceSet]",
     return out
 
 
+def _attach_robustness(specs: "list[ScenarioSpec]", systems: "list",
+                       runs: "list", traces_list: "list[TraceSet]",
+                       metrics: "list[ScenarioMetrics]", *,
+                       robustness: Mapping[str, object],
+                       chunk_coarse: int, batch_traces: bool,
+                       workspace: bool | None, streamable: bool,
+                       telemetry=None) -> "list[ScenarioMetrics]":
+    """Add the paired-noisy columns to one shard's metrics.
+
+    Re-runs every scenario of the shard under the ``robustness``
+    observation model (same traces, same seed, fresh controller) and
+    reports the noisy cost plus the relative degradation against the
+    clean cost — the fleet-scale twin of the paper's Fig. 9
+    clean-vs-noisy comparison, with the same record discipline as the
+    offline-gap column.  The noisy replay reuses the shard's trace
+    streams (replayable by contract) on the streamed path, or the
+    already-materialized horizons on the in-memory path, so the column
+    costs one extra engine pass and zero extra trace generation with
+    ``offline_gap`` on.  Like the offline replay, the noisy pass runs
+    uninjected (no fault harness): it is a derived comparison column,
+    not a second chance for chaos faults to fire.
+    """
+    tele = telemetry
+    t0 = tele.clock() if tele is not None and tele.enabled else 0.0
+    observations = [
+        observation_from_mapping(robustness, default_seed=spec.seed,
+                                 price_cap=system.p_max)
+        for spec, system in zip(specs, systems)]
+    if streamable:
+        noisy_runs = [
+            StreamRunSpec(system=run.system,
+                          controller=spec.build_controller(),
+                          stream=run.stream,
+                          grid_capacity=run.grid_capacity,
+                          observation=observation)
+            for run, spec, observation in zip(runs, specs, observations)]
+        noisy = StreamingBatchSimulator(
+            noisy_runs, chunk_coarse=chunk_coarse,
+            batch_traces=batch_traces, workspace=workspace).run()
+    else:
+        noisy_specs = [
+            RunSpec(system=systems[i],
+                    controller=specs[i].build_controller(traces_list[i]),
+                    traces=traces_list[i],
+                    observed=observations[i].observed_traces(
+                        traces_list[i]),
+                    grid_capacity=runs[i].grid_capacity)
+            for i in range(len(specs))]
+        results = run_group_batch(noisy_specs, workspace=workspace)
+        noisy = [ScenarioMetrics.from_result(result, seed=spec.seed)
+                 for spec, result in zip(specs, results)]
+    if tele is not None and tele.enabled:
+        tele.add_time("robustness", tele.clock() - t0)
+        tele.count("robustness_scenarios", len(specs))
+    out = []
+    for metric, twin in zip(metrics, noisy):
+        clean_cost = float(metric.time_avg_cost)
+        noisy_cost = float(twin.time_avg_cost)
+        gap = ((noisy_cost - clean_cost) / abs(clean_cost)
+               if abs(clean_cost) > 0 else 0.0)
+        out.append(dataclass_replace(metric, noisy_cost=noisy_cost,
+                                     robustness_gap=gap))
+    return out
+
+
 def _run_spec_shard(payload: dict) -> ShardOutcome:
     """Module-level worker: run one shard of serialized specs.
 
@@ -291,6 +357,7 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
     streamable = bool(payload["streamable"])
     batch_traces = bool(payload.get("batch_traces", True))
     offline_gap = bool(payload.get("offline_gap", False))
+    robustness = payload.get("robustness")
     workspace = payload.get("workspace")
     tele = Telemetry() if payload.get("telemetry") else None
     faults = None
@@ -303,11 +370,13 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
     build_t0 = tele.clock() if tele is not None else 0.0
     systems = []
     traces_list: list[TraceSet] = []
+    observations = []
     if streamable:
         runs = []
         for spec in specs:
             system = spec.build_system()
             systems.append(system)
+            observations.append(spec.build_observation(system))
             if offline_gap:
                 # Materialize once; the policy streams over array
                 # views of the same window the LP will consume.
@@ -319,7 +388,8 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
             runs.append(StreamRunSpec(
                 system=system,
                 controller=spec.build_controller(),
-                stream=stream))
+                stream=stream,
+                observation=observations[-1]))
         if tele is not None:
             tele.add_time("build", tele.clock() - build_t0)
         metrics = StreamingBatchSimulator(
@@ -328,16 +398,20 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
             telemetry=tele, faults=faults).run()
         engine = "stream"
     else:
-        run_specs = []
+        runs = []
         for spec in specs:
             system = spec.build_system()
             traces = spec.build_traces(system)
             systems.append(system)
             traces_list.append(traces)
-            run_specs.append(RunSpec(
+            observation = spec.build_observation(system)
+            observations.append(observation)
+            runs.append(RunSpec(
                 system=system,
                 controller=spec.build_controller(traces),
-                traces=traces))
+                traces=traces,
+                observed=(observation.observed_traces(traces)
+                          if observation is not None else None)))
         if tele is not None:
             tele.add_time("build", tele.clock() - build_t0)
         if faults is not None:
@@ -349,7 +423,7 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
             faults.fire("traces")
             faults.fire("plan")
             faults.fire("slot_loop")
-        results = run_group_batch(run_specs, workspace=workspace,
+        results = run_group_batch(runs, workspace=workspace,
                                   telemetry=tele)
         metrics = [ScenarioMetrics.from_result(result, seed=spec.seed)
                    for spec, result in zip(specs, results)]
@@ -359,6 +433,19 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
         metrics = _attach_offline_gap(systems, traces_list, metrics,
                                       chunk_coarse, workspace,
                                       telemetry=tele, faults=faults)
+    if robustness:
+        metrics = _attach_robustness(
+            specs, systems, runs, traces_list, metrics,
+            robustness=robustness, chunk_coarse=chunk_coarse,
+            batch_traces=batch_traces, workspace=workspace,
+            streamable=streamable, telemetry=tele)
+    stamped = []
+    for metric, observation in zip(metrics, observations):
+        rel = observation.rel_error if observation is not None else None
+        if rel is not None:
+            metric = dataclass_replace(metric, observation_rel_error=rel)
+        stamped.append(metric)
+    metrics = stamped
 
     records = tuple(
         {
@@ -372,9 +459,11 @@ def _run_spec_shard(payload: dict) -> ShardOutcome:
             # let a mutated record corrupt an in-process re-run.
             "spec": spec.to_dict(),
             "spec_hash": spec.spec_hash(),
+            **({"observation": observation.describe()}
+               if observation is not None else {}),
             "metrics": m.as_dict(),
         }
-        for spec, m in zip(specs, metrics))
+        for spec, m, observation in zip(specs, metrics, observations))
     elapsed = monotonic() - t0
     snapshot = None
     if tele is not None:
@@ -461,6 +550,16 @@ class FleetRunner:
         arming the chaos harness; ``None`` falls back to the
         ``REPRO_FAULT_PLAN`` environment variable, and an unset
         variable disarms the harness entirely (the production state).
+    robustness:
+        Arm the paired clean-vs-noisy robustness sweep.  A number is
+        shorthand for ``{"kind": "uniform", "rel_error": <number>}``;
+        a mapping selects any registered observation model (see
+        :mod:`repro.fleet.observe`).  Every scenario is re-run under
+        the model (same traces, fresh controller, noise seeded from
+        the scenario seed) and its record gains ``noisy_cost`` and
+        ``robustness_gap`` columns — the fleet-scale twin of the
+        paper's Fig. 9 comparison, with the same optional-column
+        discipline as ``offline_gap``.
     retry_quarantined:
         With a store and ``resume``, re-offer scenarios whose hash
         appears only in ``errors.jsonl`` (normally a quarantined
@@ -489,6 +588,7 @@ class FleetRunner:
                  shard_timeout: float | None = None,
                  fail_fast: bool = False,
                  fault_plan=None,
+                 robustness=None,
                  retry_quarantined: bool = False,
                  retry_backoff_s: float = 0.05):
         self.specs = list(specs)
@@ -530,6 +630,23 @@ class FleetRunner:
         elif isinstance(fault_plan, Mapping):
             fault_plan = FaultPlan.from_dict(fault_plan)
         self.fault_plan = fault_plan
+        if robustness is None:
+            self.robustness = None
+        else:
+            if isinstance(robustness, (int, float)) and not isinstance(
+                    robustness, bool):
+                robustness = {"kind": "uniform",
+                              "rel_error": float(robustness)}
+            elif isinstance(robustness, Mapping):
+                robustness = dict(robustness)
+            else:
+                raise ConfigurationError(
+                    "robustness must be a relative-error number or an "
+                    f"observation mapping, got {robustness!r}")
+            # Validate eagerly so a bad model name/param fails at
+            # construction, not inside a worker mid-sweep.
+            observation_from_mapping(robustness, default_seed=0)
+            self.robustness = robustness
         self.retry_quarantined = retry_quarantined
         self.retry_backoff_s = retry_backoff_s
         #: Run-level telemetry of the most recent :meth:`run` (``None``
@@ -561,6 +678,7 @@ class FleetRunner:
                     "batch_traces": self.batch_traces,
                     "workspace": self.workspace,
                     "offline_gap": self.offline_gap,
+                    "robustness": self.robustness,
                     "telemetry": self.telemetry,
                 })
         return payloads

@@ -32,6 +32,15 @@ Spec layout
     family of the repo's figures).  Optional ``demand`` / ``solar`` /
     ``price`` sub-dicts override the component model fields; an
     explicit ``seed`` overrides the spec seed.
+``observation``
+    Optional: ``{"kind": <model>, **params}`` describing what the
+    controller *observes* (physics always runs on the truth) — see
+    :mod:`repro.fleet.observe` for the model registry (``uniform``,
+    ``dropout``, ``stuck``, ``bias_drift``, ``delay``).  An explicit
+    ``seed`` overrides the spec seed for the noise substreams, so seed
+    replicas draw independent noise by default.  ``None`` (omitted
+    from the serialized form, keeping every pre-existing spec hash
+    stable) means noise-free observation.
 
 Generators
 ----------
@@ -185,6 +194,7 @@ class ScenarioSpec:
         default_factory=lambda: {"kind": "smartdpss"})
     trace: Mapping[str, object] = field(
         default_factory=lambda: {"kind": "stream"})
+    observation: Mapping[str, object] | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -319,12 +329,29 @@ class ScenarioSpec:
                 f"materialized traces")
         return _controller_factory(kind)(options, traces)
 
+    def build_observation(self, system: SystemConfig | None = None):
+        """The :class:`~repro.fleet.observe.ObservationSpec` this spec
+        describes, or ``None`` for noise-free observation.
+
+        The market price cap binds from the system (observed prices
+        stay legal controller inputs); the noise seed defaults to the
+        spec seed.
+        """
+        if self.observation is None:
+            return None
+        from repro.fleet.observe import observation_from_mapping
+
+        system = system or self.build_system()
+        return observation_from_mapping(self.observation,
+                                        default_seed=self.seed,
+                                        price_cap=system.p_max)
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "seed": self.seed,
             "value": self.value,
             "name": self.name,
@@ -332,14 +359,21 @@ class ScenarioSpec:
             "controller": dict(self.controller),
             "trace": dict(self.trace),
         }
+        # Omitted when unset so every pre-observation spec keeps its
+        # content hash (the resumption key) bit for bit.
+        if self.observation is not None:
+            out["observation"] = dict(self.observation)
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":
-        known = {"seed", "value", "name", "system", "controller", "trace"}
+        known = {"seed", "value", "name", "system", "controller",
+                 "trace", "observation"}
         unknown = set(data) - known
         if unknown:
             raise ConfigurationError(
                 f"unknown ScenarioSpec fields {sorted(unknown)}")
+        observation = data.get("observation")
         return cls(
             seed=int(data.get("seed", DEFAULT_SEED)),
             value=data.get("value"),
@@ -348,6 +382,8 @@ class ScenarioSpec:
             controller=dict(data.get("controller",
                                      {"kind": "smartdpss"})),
             trace=dict(data.get("trace", {"kind": "stream"})),
+            observation=(None if observation is None
+                         else dict(observation)),
         )
 
     def to_json(self) -> str:
@@ -366,14 +402,14 @@ class ScenarioSpec:
 def _with_path(spec: ScenarioSpec, path: str, value) -> ScenarioSpec:
     """Functionally set a dotted path on a spec's nested dicts."""
     head, _, rest = path.partition(".")
-    if head not in ("system", "controller", "trace"):
+    if head not in ("system", "controller", "trace", "observation"):
         raise ConfigurationError(
-            f"axis path must start with system/controller/trace, got "
-            f"{path!r}")
+            f"axis path must start with system/controller/trace/"
+            f"observation, got {path!r}")
     if not rest:
         raise ConfigurationError(
             f"axis path {path!r} needs a field after {head!r}")
-    nested = dict(getattr(spec, head))
+    nested = dict(getattr(spec, head) or {})
     keys = rest.split(".")
     cursor = nested
     for key in keys[:-1]:

@@ -18,6 +18,23 @@ from repro.traces.base import TraceSet
 from repro.exceptions import ConfigurationError
 
 
+def uniform_perturb(series: np.ndarray, rel_error: float,
+                    rng: np.random.Generator) -> np.ndarray:
+    """One series under the paper's multiplicative uniform error model.
+
+    Each observed value is ``true · U`` with
+    ``U ~ Uniform(1 − rel_error, 1 + rel_error)`` drawn independently
+    per slot, floored at zero.  This is the shared arithmetic behind
+    both the in-memory reference (:func:`uniform_observation_noise`)
+    and the streamed observation layer
+    (:mod:`repro.fleet.observe`) — both must perform the *same* IEEE
+    operations in the same order so their outputs are bit-identical.
+    """
+    factors = rng.uniform(1.0 - rel_error, 1.0 + rel_error,
+                          size=series.size)
+    return np.clip(series * factors, 0.0, None)
+
+
 def uniform_observation_noise(traces: TraceSet,
                               rel_error: float,
                               rng: np.random.Generator,
@@ -36,9 +53,7 @@ def uniform_observation_noise(traces: TraceSet,
             f"relative error must be in [0, 1), got {rel_error}")
 
     def perturb(series: np.ndarray) -> np.ndarray:
-        factors = rng.uniform(1.0 - rel_error, 1.0 + rel_error,
-                              size=series.size)
-        return np.clip(series * factors, 0.0, None)
+        return uniform_perturb(series, rel_error, rng)
 
     observed_rt = perturb(traces.price_rt)
     observed_lt = perturb(traces.price_lt_hourly)

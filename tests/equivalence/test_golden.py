@@ -159,12 +159,43 @@ def compute_fleet_offline_gap() -> dict:
     }
 
 
+def compute_fleet_fig9() -> dict:
+    """The Fig. 9 robustness band *through the fleet path*.
+
+    A tiny-horizon :func:`run_fig9_fleet`: Impatient baseline plus a
+    SmartDPSS V-sweep, each paired with a streamed noisy-observation
+    twin by ``FleetRunner(robustness=...)``.  Pins the whole streamed
+    observation chain — per-chunk noise substreams, carry state, the
+    clean/noisy pairing, and the reduction arithmetic — so any drift
+    in how controllers *see* traces (as opposed to what physics bills)
+    fails here first.
+    """
+    from repro.experiments.fig9_robustness import run_fig9_fleet
+
+    result = run_fig9_fleet(days=1, fine_slots_per_coarse=6,
+                            v_values=(0.1, 1.0, 5.0))
+    lo, hi = result.difference_band
+    return {
+        "rows": [{
+            "v": row.v,
+            "clean_cost": row.clean_cost,
+            "noisy_cost": row.noisy_cost,
+            "clean_reduction": row.clean_reduction,
+            "noisy_reduction": row.noisy_reduction,
+            "reduction_difference": row.reduction_difference,
+        } for row in result.rows],
+        "rel_error": result.rel_error,
+        "difference_band": [lo, hi],
+    }
+
+
 EXPERIMENTS = {
     "fig5_traces": compute_fig5,
     "fig6_v_sweep": compute_fig6_v,
     "fig6_t_sweep": compute_fig6_t,
     "fleet_fig6_t_sweep": compute_fleet_fig6_t,
     "fleet_offline_gap": compute_fleet_offline_gap,
+    "fleet_fig9_robustness": compute_fleet_fig9,
 }
 
 

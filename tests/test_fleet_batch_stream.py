@@ -191,9 +191,10 @@ class TestPlanningTailGuard:
 
         class TailDropping(StreamingBatchSimulator):
             def _install_chunk(self, columns, price_lt, start, stop,
-                               tail):
-                return super()._install_chunk(columns, price_lt, start,
-                                              stop, None)
+                               tail, price_lt_fine=None):
+                return super()._install_chunk(
+                    columns, price_lt, start, stop, None,
+                    price_lt_fine=price_lt_fine)
 
         with pytest.raises(HorizonMismatchError, match="planning tail"):
             TailDropping(self._runs(), chunk_coarse=2).run()

@@ -259,6 +259,43 @@ class TestSerialRecovery:
             {spec.spec_hash() for spec in fleet}
 
 
+class TestObserveSite:
+    """The ``observe`` fault site: corruption of what controllers see."""
+
+    def test_observed_nan_quarantines_naming_view_and_series(
+            self, fleet, reference, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        poisoned = fleet[2].name
+        plan = FaultPlan(faults=(
+            Fault(site="observe", action="nan", scenario=poisoned,
+                  slot=3, series="price_rt"),))
+        runner, records = run_chaos(fleet, plan, store=store)
+        # The typed error names its scenario: direct quarantine, no
+        # retry/bisect round-trips.
+        assert runner.last_run_stats == {
+            "executed": 5, "skipped": 0, "shards": 2, "retries": 0,
+            "bisections": 0, "quarantined": 1, "pool_respawns": 0}
+        (error,) = store.errors()
+        assert error["name"] == poisoned
+        assert error["error"]["type"] == "ObservationCorruptionError"
+        assert "observed" in error["error"]["message"]
+        assert "'price_rt'" in error["error"]["message"]
+        assert "slot 3" in error["error"]["message"]
+        # Only the observed view was poisoned — physics runs on truth,
+        # so every healthy scenario is bit-identical to fault-free.
+        assert [records[i] for i in (0, 1, 3, 4, 5)] == \
+            [reference[i] for i in (0, 1, 3, 4, 5)]
+
+    def test_observe_site_raise_retries_then_succeeds(self, fleet,
+                                                      reference):
+        plan = FaultPlan(faults=(Fault(site="observe", times=1),))
+        runner, records = run_chaos(fleet, plan)
+        # Both shards fail once at the observation stage, then recover.
+        assert runner.last_run_stats["retries"] == 2
+        assert runner.last_run_stats["quarantined"] == 0
+        assert records == reference
+
+
 class TestPoolRecovery:
     def test_worker_kill_respawns_pool(self, fleet, reference, tmp_path):
         store = ResultStore(tmp_path / "s")
